@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Extract the experiment tables printed by `go test -bench=. -v` (b.Log
+output) into a clean experiments.txt. Usage:
+
+    python3 artifacts/extract.py bench_output.txt > artifacts/experiments.txt
+"""
+import re
+import sys
+
+src = open(sys.argv[1]).read().splitlines()
+out = []
+in_table = False
+for line in src:
+    # b.Log lines are indented; table blocks start with "== id: title ==".
+    stripped = line.strip()
+    m = re.match(r"^(== [a-z0-9-]+: .*==)$", stripped)
+    if m:
+        in_table = True
+        out.append(stripped)
+        continue
+    if in_table:
+        if (stripped == "" or stripped.startswith("--- ") or
+                stripped.startswith("===") or stripped.startswith("Benchmark")):
+            in_table = False
+            out.append("")
+            continue
+        out.append(stripped)
+print("\n".join(out))

@@ -1,0 +1,130 @@
+package linebacker
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the experiment through the shared harness (results are
+// memoised across benches, so Best-SWL sweeps and baseline runs are paid
+// once per `go test -bench` invocation). Run with -v to see the tables:
+//
+//	go test -bench=Fig12 -benchmem -v .
+//
+// The benchmark metric of interest is the experiment's headline number
+// (geometric-mean speedup etc.), reported via b.ReportMetric; wall-clock
+// per op is the cost of regenerating the experiment.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/harness"
+)
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *harness.Runner
+)
+
+// benchGetRunner returns the shared experiment runner (16 windows on the
+// 4-SM fast configuration, like cmd/lbfig's default).
+func benchGetRunner() *harness.Runner {
+	benchRunnerOnce.Do(func() {
+		benchRunner = harness.NewRunner(harness.BenchConfig(), 16)
+	})
+	return benchRunner
+}
+
+// runExperiment executes the experiment once per benchmark iteration and
+// reports its headline metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	r := benchGetRunner()
+	for i := 0; i < b.N; i++ {
+		t := e.Run(r)
+		if i == 0 {
+			logTable(b, t)
+			reportHeadline(b, t)
+		}
+	}
+}
+
+// logTable prints the reproduced table under -v.
+func logTable(b *testing.B, t *harness.Table) {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	b.Log("\n" + sb.String())
+}
+
+// reportHeadline extracts the last row's numeric cells (GM/Avg rows) as
+// benchmark metrics.
+func reportHeadline(b *testing.B, t *harness.Table) {
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	for i, cell := range last {
+		if i == 0 || i >= len(t.Header) {
+			continue
+		}
+		v := strings.TrimSuffix(cell, "%")
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.ToLower(strings.ReplaceAll(t.Header[i], " ", "_"))
+		b.ReportMetric(f, last[0]+"_"+name)
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkTable2Sensitivity(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3Config(b *testing.B)      { runExperiment(b, "table3") }
+
+func BenchmarkFig1MissBreakdown(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkFig2WorkingSet(b *testing.B)     { runExperiment(b, "fig2") }
+func BenchmarkFig3Streaming(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig4UnusedRF(b *testing.B)       { runExperiment(b, "fig4") }
+func BenchmarkFig5CacheExt(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig9IdleRF(b *testing.B)         { runExperiment(b, "fig9") }
+func BenchmarkFig10VTTAssoc(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11Breakdown(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12Performance(b *testing.B)   { runExperiment(b, "fig12") }
+func BenchmarkFig13HitBreakdown(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14CacheSize(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15Combos(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkFig16BankConflicts(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17Traffic(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18Energy(b *testing.B)        { runExperiment(b, "fig18") }
+
+// BenchmarkExtCCWS is a reproduction extension: CCWS (MICRO '12) situated
+// against Best-SWL and Linebacker.
+func BenchmarkExtCCWS(b *testing.B) { runExperiment(b, "ext-ccws") }
+
+// BenchmarkSimulatorThroughput measures raw engine speed: simulated cycles
+// per second on one cache-sensitive benchmark under the baseline scheme.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := FastConfig()
+	bench, _ := Benchmark("S2")
+	for i := 0; i < b.N; i++ {
+		g, err := New(cfg, bench.Kernel, mustBaseline(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		const cycles = 50_000
+		g.Run(cycles)
+		b.ReportMetric(float64(cycles), "cycles/op")
+	}
+}
+
+func mustBaseline(b *testing.B) Policy {
+	b.Helper()
+	p, err := NewScheme("baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

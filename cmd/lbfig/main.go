@@ -1,0 +1,98 @@
+// Command lbfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lbfig -fig fig12                # one experiment
+//	lbfig -all                      # everything, in paper order
+//	lbfig -list                     # list experiment ids
+//	lbfig -fig fig12 -paper         # full Table 1 scale (16 SMs, 50k windows)
+//	lbfig -fig fig12 -csv           # emit CSV instead of aligned text
+//	lbfig -all -svg -out artifacts  # also render each figure as an SVG chart
+//	lbfig -windows 12               # run length in monitoring windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/linebacker-sim/linebacker/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment id (fig12, table2, ...)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		paper   = flag.Bool("paper", false, "use the full Table 1 scale (16 SMs, 50k-cycle windows) instead of the fast 4-SM configuration")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		md      = flag.Bool("md", false, "emit markdown")
+		svg     = flag.Bool("svg", false, "additionally render each experiment as an SVG chart")
+		outDir  = flag.String("out", "artifacts", "directory for -svg output")
+		windows = flag.Int("windows", 16, "run length in monitoring windows")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.BenchConfig()
+	if *paper {
+		cfg = harness.PaperConfig()
+	}
+	r := harness.NewRunner(cfg, *windows)
+
+	emit := func(t *harness.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *md:
+			fmt.Println(t.Markdown())
+		default:
+			t.Fprint(os.Stdout)
+		}
+		if *svg {
+			chart, err := t.Chart()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lbfig: %s: %v (skipped)\n", t.ID, err)
+				return
+			}
+			doc, err := chart.SVG()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lbfig: %s: %v\n", t.ID, err)
+				return
+			}
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "lbfig:", err)
+				os.Exit(1)
+			}
+			path := fmt.Sprintf("%s/%s.svg", *outDir, t.ID)
+			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "lbfig:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, e := range harness.Experiments() {
+			emit(e.Run(r))
+		}
+	case *fig != "":
+		e, ok := harness.ExperimentByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lbfig: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(1)
+		}
+		emit(e.Run(r))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,199 @@
+// Command lbsim runs one benchmark under one scheme and prints the
+// statistics block.
+//
+// Usage:
+//
+//	lbsim -bench S2 -scheme linebacker
+//	lbsim -bench BI -scheme swl:4 -windows 16 -paper
+//	lbsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/linebacker-sim/linebacker"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "S2", "benchmark code (see -list)")
+		kernelFile = flag.String("kernel", "", "run a kernel described in a JSON file instead of -bench")
+		scheme     = flag.String("scheme", "linebacker", "scheme specifier (baseline, swl:<n>, ccws, pcal, cerf, cacheext, linebacker, svc, vc, ...)")
+		windows    = flag.Int("windows", 16, "run length in monitoring windows (0 = to completion)")
+		paper      = flag.Bool("paper", false, "full Table 1 scale (16 SMs) instead of the fast 4-SM configuration")
+		list       = flag.Bool("list", false, "list benchmarks and schemes")
+		timeline   = flag.Bool("timeline", false, "print per-window IPC while running")
+		traceFile  = flag.String("trace", "", "replay a recorded memory trace instead of -bench")
+		recordFile = flag.String("record", "", "record the run's memory trace to a file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (Table 2):")
+		for _, b := range linebacker.Benchmarks() {
+			class := "cache-insensitive"
+			if b.Sensitive {
+				class = "cache-sensitive"
+			}
+			fmt.Printf("  %-4s %-36s %-10s %s\n", b.Name, b.Desc, b.Suite, class)
+		}
+		fmt.Println("schemes:")
+		for _, s := range linebacker.SchemeNames() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	var kernel *linebacker.Kernel
+	title := ""
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		tr, err := linebacker.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		kernel, err = tr.Kernel("trace-replay", 2, 8, 8, 24, 4096)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		title = fmt.Sprintf("trace replay (%d warps, %d loads, %d events from %s)",
+			tr.Warps(), tr.Loads(), tr.Events(), *traceFile)
+	} else if *kernelFile != "" {
+		data, err := os.ReadFile(*kernelFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		kernel, err = linebacker.ParseKernelJSON(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		title = fmt.Sprintf("%s (from %s)", kernel.Name, *kernelFile)
+	} else {
+		b, ok := linebacker.Benchmark(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lbsim: unknown benchmark %q (use -list)\n", *bench)
+			os.Exit(1)
+		}
+		kernel = b.Kernel
+		title = fmt.Sprintf("%s (%s)", b.Name, b.Desc)
+	}
+	pol, err := linebacker.NewScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+
+	cfg := linebacker.FastConfig()
+	if *paper {
+		cfg = linebacker.DefaultConfig()
+	}
+	res, err := runKernel(cfg, kernel, pol, *windows, *timeline, *recordFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s\n", title)
+	fmt.Printf("scheme           %s\n", res.Policy)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("instructions     %d\n", res.Instructions)
+	fmt.Printf("IPC              %.3f\n", res.IPC())
+	total := res.TotalLoadReqs()
+	if total > 0 {
+		fmt.Printf("load requests    %d\n", total)
+		fmt.Printf("  L1 hits        %5.1f%%\n", pct(res.Loads[0], total))
+		fmt.Printf("  merged misses  %5.1f%%\n", pct(res.Loads[1], total))
+		fmt.Printf("  misses         %5.1f%%\n", pct(res.Loads[2], total))
+		fmt.Printf("  bypasses       %5.1f%%\n", pct(res.Loads[3], total))
+		fmt.Printf("  reg hits       %5.1f%%\n", pct(res.Loads[4], total))
+	}
+	fmt.Printf("L1 miss split    cold %d / capacity+conflict %d\n", res.L1.ColdMisses, res.L1.CapConfMisses)
+	fmt.Printf("RF bank conflicts %d\n", res.RF.BankConflicts)
+	fmt.Printf("DRAM traffic     %.1f KB read, %.1f KB written (backup %.1f KB, restore %.1f KB)\n",
+		float64(res.DRAM.BytesRead)/1024, float64(res.DRAM.BytesWritten)/1024,
+		float64(res.DRAM.RegBackupBytes)/1024, float64(res.DRAM.RegRestoreBytes)/1024)
+	eb := linebacker.Energy(&cfg, res)
+	fmt.Printf("energy           %.3g J total (%.3g pJ/instr)\n", eb.Total(),
+		linebacker.EnergyPerInstruction(&cfg, res)*1e12)
+	if len(res.Extra) > 0 {
+		fmt.Println("scheme metrics:")
+		for _, k := range sortedKeys(res.Extra) {
+			fmt.Printf("  %-24s %.3f\n", k, res.Extra[k])
+		}
+	}
+}
+
+// runKernel runs with optional per-window IPC timeline output and optional
+// trace recording.
+func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Policy, windows int, timeline bool, recordFile string) (*linebacker.Result, error) {
+	if !timeline && recordFile == "" {
+		return linebacker.Run(cfg, k, pol, windows)
+	}
+	g, err := linebacker.New(cfg, k, pol)
+	if err != nil {
+		return nil, err
+	}
+	if recordFile != "" {
+		f, err := os.Create(recordFile)
+		if err != nil {
+			return nil, err
+		}
+		rec := linebacker.NewTraceRecorder(f)
+		linebacker.RecordTrace(g, rec)
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "lbsim: flushing trace:", err)
+			}
+			f.Close()
+		}()
+	}
+	if !timeline {
+		g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+		return g.Collect(), nil
+	}
+	win := int64(cfg.LB.WindowCycles)
+	var prevRetired int64
+	fmt.Println("window  IPC      bar")
+	for w := 1; w <= windows; w++ {
+		g.Run(int64(w) * win)
+		var retired int64
+		for _, sm := range g.SMs() {
+			retired += sm.Retired()
+		}
+		ipc := float64(retired-prevRetired) / float64(win)
+		prevRetired = retired
+		bar := ""
+		for i := 0.0; i+0.25 <= ipc; i += 0.25 {
+			bar += "#"
+		}
+		fmt.Printf("%6d  %6.3f   %s\n", w, ipc, bar)
+	}
+	fmt.Println()
+	return g.Collect(), nil
+}
+
+func pct(n, d int64) float64 { return 100 * float64(n) / float64(d) }
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,90 @@
+// Command lbsweep runs parameter sweeps: static CTA limits (Best-SWL
+// search), L1 cache sizes, and VTT partition associativities.
+//
+// Usage:
+//
+//	lbsweep -mode swl -bench S2
+//	lbsweep -mode cache -bench BI -scheme linebacker
+//	lbsweep -mode vtt -bench BC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/linebacker-sim/linebacker"
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/schemes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "swl", "sweep: swl | cache | vtt")
+		bench   = flag.String("bench", "S2", "benchmark code")
+		scheme  = flag.String("scheme", "linebacker", "scheme for the cache sweep")
+		windows = flag.Int("windows", 16, "run length in monitoring windows")
+		paper   = flag.Bool("paper", false, "full Table 1 scale")
+	)
+	flag.Parse()
+
+	b, ok := linebacker.Benchmark(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lbsweep: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	cfg := linebacker.FastConfig()
+	if *paper {
+		cfg = linebacker.DefaultConfig()
+	}
+
+	run := func(cfg linebacker.Config, pol linebacker.Policy) *linebacker.Result {
+		res, err := linebacker.Run(cfg, b.Kernel, pol, *windows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	switch *mode {
+	case "swl":
+		maxRes := sim.MaxResidentCTAs(&cfg.GPU, b.Kernel)
+		fmt.Printf("static CTA limit sweep for %s (max resident %d):\n", b.Name, maxRes)
+		bestIPC, bestLim := 0.0, 0
+		for lim := 1; lim <= maxRes; lim++ {
+			r := run(cfg, schemes.SWL{Limit: lim})
+			fmt.Printf("  limit %2d: IPC %.3f\n", lim, r.IPC())
+			if r.IPC() > bestIPC {
+				bestIPC, bestLim = r.IPC(), lim
+			}
+		}
+		fmt.Printf("Best-SWL: limit %d (IPC %.3f)\n", bestLim, bestIPC)
+	case "cache":
+		pol, err := linebacker.NewScheme(*scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("L1 size sweep for %s under %s:\n", b.Name, pol.Name())
+		for _, kb := range []int{16, 48, 64, 96, 128} {
+			c := cfg
+			c.GPU.L1Bytes = kb * 1024
+			base := run(c, sim.Baseline{})
+			r := run(c, pol)
+			fmt.Printf("  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, r.IPC(), r.IPC()/base.IPC())
+		}
+	case "vtt":
+		fmt.Printf("VTT partition associativity sweep for %s:\n", b.Name)
+		for _, ways := range []int{1, 2, 4, 8, 16, 32} {
+			pol := core.NewWith(core.Options{Selection: true, Throttling: true, VTTWays: ways})
+			r := run(cfg, pol)
+			fmt.Printf("  %2d-way VPs: IPC %.3f, reg-hit %.1f%%, victim %.0f KB avg\n",
+				ways, r.IPC(), r.RegHitRatio()*100, r.Extra["lb_victim_bytes_avg"]/1024)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lbsweep: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+}

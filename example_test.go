@@ -1,0 +1,78 @@
+package linebacker_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/linebacker-sim/linebacker"
+)
+
+// Example runs one Table 2 benchmark under the full Linebacker architecture
+// and reports the victim-cache (Reg) hit share.
+func Example() {
+	cfg := linebacker.FastConfig()
+	bench, ok := linebacker.Benchmark("BC")
+	if !ok {
+		log.Fatal("unknown benchmark")
+	}
+	pol, err := linebacker.NewScheme("linebacker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := linebacker.Run(cfg, bench.Kernel, pol, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.RegHitRatio() > 0)
+	// Output: true
+}
+
+// ExampleNewKernel builds a custom workload declaratively: one hot
+// irregular working set plus a streaming input, with a streaming store.
+func ExampleNewKernel() {
+	k := linebacker.NewKernel("my-kernel",
+		[]linebacker.LoadSpec{
+			{Pattern: linebacker.Irregular, Scope: linebacker.PerSM, WorkingSetBytes: 64 * 1024, Coalesced: 2},
+			{Pattern: linebacker.Streaming, Scope: linebacker.PerWarp, Coalesced: 1, Every: 4},
+		},
+		[]linebacker.LoadSpec{
+			{Pattern: linebacker.Streaming, Scope: linebacker.PerWarp, Coalesced: 1},
+		},
+		2, 8, 2500, 8, 24, 4096)
+	fmt.Println(k.Name, len(k.Loads))
+	// Output: my-kernel 3
+}
+
+// ExampleParseKernelJSON loads the same description from JSON.
+func ExampleParseKernelJSON() {
+	k, err := linebacker.ParseKernelJSON([]byte(`{
+	  "name": "from-json",
+	  "loads": [{"pattern": "tiled", "scope": "per-warp", "working_set_bytes": 1024}],
+	  "compute_per_load": 2, "compute_latency": 8,
+	  "iterations": 1000, "warps_per_cta": 8, "regs_per_thread": 24, "grid_ctas": 64
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(k.Name, k.WarpsPerCTA)
+	// Output: from-json 8
+}
+
+// ExampleNewScheme enumerates the comparison points of the paper's
+// evaluation.
+func ExampleNewScheme() {
+	for _, spec := range []string{"baseline", "swl:4", "ccws", "pcal", "cerf", "linebacker"} {
+		pol, err := linebacker.NewScheme(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(pol.Name())
+	}
+	// Output:
+	// Baseline
+	// SWL-4
+	// CCWS
+	// PCAL
+	// CERF
+	// Linebacker
+}

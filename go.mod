@@ -1,0 +1,3 @@
+module github.com/linebacker-sim/linebacker
+
+go 1.22

@@ -1,0 +1,384 @@
+// Package cache implements the set-associative caches of the simulated GPU:
+// a 128 B-line, LRU, MSHR-backed cache used for both the per-SM L1 data
+// cache (write-evict on store hit, no-allocate on store miss, as the paper's
+// baseline) and the shared L2 (write-allocate, write-back).
+//
+// The L1 additionally carries the paper's per-line hashed-PC (HPC) field so
+// Linebacker can verify which static load last touched an evicted line, and
+// classifies every miss as cold or capacity/conflict for the Figure 1
+// breakdown.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// Result is the outcome of a cache access.
+type Result uint8
+
+const (
+	// Hit: the line is present and filled.
+	Hit Result = iota
+	// HitPending: the line is allocated but its fill is still in flight;
+	// the access is merged into the outstanding MSHR entry.
+	HitPending
+	// Miss: the line was absent; an MSHR was allocated (and, for allocating
+	// accesses, a way was reserved, possibly evicting a victim).
+	Miss
+	// MissNoAlloc: the line was absent and the access does not allocate
+	// (store miss under write-no-allocate, or an explicit bypass).
+	MissNoAlloc
+	// Stall: no MSHR available; the access must be retried later.
+	Stall
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case HitPending:
+		return "hit-pending"
+	case Miss:
+		return "miss"
+	case MissNoAlloc:
+		return "miss-noalloc"
+	case Stall:
+		return "stall"
+	default:
+		return fmt.Sprintf("Result(%d)", uint8(r))
+	}
+}
+
+// Eviction describes a valid line pushed out by an allocation.
+type Eviction struct {
+	Line  memtypes.LineAddr
+	HPC   uint32 // hashed PC of the last load that touched the line
+	Dirty bool
+}
+
+// line is one cache way.
+type line struct {
+	valid   bool
+	pending bool // allocated, fill in flight
+	dirty   bool
+	tag     memtypes.LineAddr
+	hpc     uint32
+	lru     int64 // last-touch stamp; higher = more recent
+}
+
+// Stats aggregates cache event counts.
+type Stats struct {
+	LoadHits        int64
+	LoadPendingHits int64
+	LoadMisses      int64
+	ColdMisses      int64 // subset of LoadMisses: first-ever touch
+	CapConfMisses   int64 // subset of LoadMisses: line was resident before
+	StoreHits       int64 // write-evict caches: line invalidated
+	StoreMisses     int64
+	Bypasses        int64
+	Evictions       int64
+	DirtyEvictions  int64
+	MSHRStalls      int64
+}
+
+// TotalLoadAccesses returns hits+pending-hits+misses.
+func (s *Stats) TotalLoadAccesses() int64 {
+	return s.LoadHits + s.LoadPendingHits + s.LoadMisses
+}
+
+// Cache is a set-associative, LRU, MSHR-backed cache model.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []line // sets*ways, row-major by set
+
+	mshrCap int
+	mshr    map[memtypes.LineAddr]*MSHREntry
+
+	writeAllocate bool // false: L1 policy (write-evict / no-allocate)
+
+	// seen records every line address ever requested, to split cold from
+	// capacity/conflict misses (Figure 1).
+	seen map[memtypes.LineAddr]struct{}
+
+	stamp int64
+	Stats Stats
+}
+
+// MSHREntry tracks one outstanding fill.
+type MSHREntry struct {
+	Line memtypes.LineAddr
+	// Merged counts accesses coalesced into this entry after the first.
+	Merged int
+	// Allocated reports whether a way was reserved for the fill.
+	Allocated bool
+}
+
+// New builds a cache of the given geometry. ways must divide sizeBytes/128.
+func New(sizeBytes, ways, mshrs int, writeAllocate bool) *Cache {
+	if sizeBytes%(memtypes.LineSize*ways) != 0 {
+		panic(fmt.Sprintf("cache: %d B not divisible into %d-way sets", sizeBytes, ways))
+	}
+	sets := sizeBytes / (memtypes.LineSize * ways)
+	return &Cache{
+		sets:          sets,
+		ways:          ways,
+		lines:         make([]line, sets*ways),
+		mshrCap:       mshrs,
+		mshr:          make(map[memtypes.LineAddr]*MSHREntry),
+		writeAllocate: writeAllocate,
+		seen:          make(map[memtypes.LineAddr]struct{}),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetIndex returns the set index for a line address.
+func (c *Cache) SetIndex(l memtypes.LineAddr) int {
+	return int((uint64(l) / memtypes.LineSize) % uint64(c.sets))
+}
+
+// Probe reports whether the line is present and filled, without touching
+// LRU state or counters.
+func (c *Cache) Probe(l memtypes.LineAddr) bool {
+	set := c.SetIndex(l)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[set*c.ways+w]
+		if ln.valid && !ln.pending && ln.tag == l {
+			return true
+		}
+	}
+	return false
+}
+
+// MSHRFree reports whether a new miss can currently be tracked.
+func (c *Cache) MSHRFree() bool { return len(c.mshr) < c.mshrCap }
+
+// OutstandingFills returns the number of live MSHR entries.
+func (c *Cache) OutstandingFills() int { return len(c.mshr) }
+
+// HasOutstanding reports whether the line has an MSHR entry in flight
+// (allocated fill or bypass fetch): an access to it merges rather than
+// needing a new MSHR.
+func (c *Cache) HasOutstanding(l memtypes.LineAddr) bool {
+	_, ok := c.mshr[l]
+	return ok
+}
+
+func (c *Cache) find(l memtypes.LineAddr) *line {
+	set := c.SetIndex(l)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[set*c.ways+w]
+		if ln.valid && ln.tag == l {
+			return ln
+		}
+	}
+	return nil
+}
+
+// victimWay picks the LRU way in the set, preferring invalid ways and never
+// choosing a pending (reserved) way. Returns nil if every way is pending.
+func (c *Cache) victimWay(set int) *line {
+	var victim *line
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[set*c.ways+w]
+		if ln.pending {
+			continue
+		}
+		if !ln.valid {
+			return ln
+		}
+		if victim == nil || ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	return victim
+}
+
+// Load performs a load access for the given line. hpc is the hashed PC of
+// the issuing static load; it is written into the line's HPC field on both
+// fills and hits, per the paper ("updated whenever the line is first fetched
+// or accessed"). allocate=false bypasses the cache on a miss (PCAL-style).
+//
+// On a Miss the returned eviction (valid==true ⇔ ev.Line!=0 sentinel is NOT
+// used; check the second return) describes the replaced line so the caller
+// can offer it to a victim cache.
+func (c *Cache) Load(l memtypes.LineAddr, hpc uint32, allocate bool) (Result, Eviction, bool) {
+	c.stamp++
+	if ln := c.find(l); ln != nil {
+		ln.lru = c.stamp
+		ln.hpc = hpc
+		if ln.pending {
+			c.Stats.LoadPendingHits++
+			if e := c.mshr[l]; e != nil {
+				e.Merged++
+			}
+			return HitPending, Eviction{}, false
+		}
+		c.Stats.LoadHits++
+		return Hit, Eviction{}, false
+	}
+	// Miss path.
+	if e, ok := c.mshr[l]; ok {
+		// Same line already being fetched without an allocated way
+		// (bypass in flight): merge.
+		e.Merged++
+		c.Stats.LoadPendingHits++
+		return HitPending, Eviction{}, false
+	}
+	if !c.MSHRFree() {
+		c.Stats.MSHRStalls++
+		return Stall, Eviction{}, false
+	}
+	c.classifyMiss(l)
+	c.Stats.LoadMisses++
+	if !allocate {
+		c.Stats.Bypasses++
+		c.mshr[l] = &MSHREntry{Line: l}
+		return MissNoAlloc, Eviction{}, false
+	}
+	set := c.SetIndex(l)
+	victim := c.victimWay(set)
+	if victim == nil {
+		// Every way reserved by in-flight fills: fetch without allocating.
+		c.Stats.Bypasses++
+		c.mshr[l] = &MSHREntry{Line: l}
+		return MissNoAlloc, Eviction{}, false
+	}
+	var ev Eviction
+	evicted := false
+	if victim.valid {
+		ev = Eviction{Line: victim.tag, HPC: victim.hpc, Dirty: victim.dirty}
+		evicted = true
+		c.Stats.Evictions++
+		if victim.dirty {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	*victim = line{valid: true, pending: true, tag: l, hpc: hpc, lru: c.stamp}
+	c.mshr[l] = &MSHREntry{Line: l, Allocated: true}
+	return Miss, ev, evicted
+}
+
+// Fill completes the outstanding fetch of a line. It returns the MSHR entry
+// (nil if none was outstanding, e.g. a store fill in a write-allocate cache
+// that was silently dropped).
+func (c *Cache) Fill(l memtypes.LineAddr) *MSHREntry {
+	e, ok := c.mshr[l]
+	if !ok {
+		return nil
+	}
+	delete(c.mshr, l)
+	if e.Allocated {
+		if ln := c.find(l); ln != nil && ln.pending {
+			ln.pending = false
+		}
+	}
+	return e
+}
+
+// Store performs a store access. In a write-evict cache (writeAllocate ==
+// false) a hit invalidates the line and the store is forwarded below; a miss
+// allocates nothing. In a write-allocate cache a hit marks the line dirty
+// and a miss allocates it dirty (fetch-on-write is folded into the fill
+// latency by the caller).
+func (c *Cache) Store(l memtypes.LineAddr) (Result, Eviction, bool) {
+	c.stamp++
+	c.classifySeenOnly(l)
+	if ln := c.find(l); ln != nil {
+		if c.writeAllocate {
+			if !ln.pending {
+				ln.dirty = true
+				ln.lru = c.stamp
+			}
+			c.Stats.StoreHits++
+			return Hit, Eviction{}, false
+		}
+		// Write-evict: invalidate on hit.
+		*ln = line{}
+		c.Stats.StoreHits++
+		return Hit, Eviction{}, false
+	}
+	c.Stats.StoreMisses++
+	if !c.writeAllocate {
+		return MissNoAlloc, Eviction{}, false
+	}
+	set := c.SetIndex(l)
+	victim := c.victimWay(set)
+	if victim == nil {
+		return MissNoAlloc, Eviction{}, false
+	}
+	var ev Eviction
+	evicted := false
+	if victim.valid {
+		ev = Eviction{Line: victim.tag, HPC: victim.hpc, Dirty: victim.dirty}
+		evicted = true
+		c.Stats.Evictions++
+		if victim.dirty {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	*victim = line{valid: true, dirty: true, tag: l, lru: c.stamp}
+	return Miss, ev, evicted
+}
+
+// Invalidate drops the line if present, returning whether it was present.
+// Used by Linebacker's store handling against victim lines and by tests.
+func (c *Cache) Invalidate(l memtypes.LineAddr) bool {
+	if ln := c.find(l); ln != nil && !ln.pending {
+		*ln = line{}
+		return true
+	}
+	return false
+}
+
+// classifyMiss records whether a load miss is cold or capacity/conflict.
+func (c *Cache) classifyMiss(l memtypes.LineAddr) {
+	if _, ok := c.seen[l]; ok {
+		c.Stats.CapConfMisses++
+	} else {
+		c.Stats.ColdMisses++
+		c.seen[l] = struct{}{}
+	}
+}
+
+func (c *Cache) classifySeenOnly(l memtypes.LineAddr) {
+	c.seen[l] = struct{}{}
+}
+
+// ResetStats zeroes counters but keeps contents (used at window boundaries).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Utilization returns the fraction of ways currently valid.
+func (c *Cache) Utilization() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}
+
+// Resize rebuilds the cache with a new byte size, dropping all contents and
+// outstanding fills. Used by the CacheExt idealisation, which grows the L1
+// by the unused-register byte count at kernel launch.
+func (c *Cache) Resize(sizeBytes int) {
+	if sizeBytes%(memtypes.LineSize*c.ways) != 0 {
+		// Round down to a whole number of sets.
+		sizeBytes -= sizeBytes % (memtypes.LineSize * c.ways)
+	}
+	if sizeBytes < memtypes.LineSize*c.ways {
+		sizeBytes = memtypes.LineSize * c.ways
+	}
+	c.sets = sizeBytes / (memtypes.LineSize * c.ways)
+	c.lines = make([]line, c.sets*c.ways)
+	c.mshr = make(map[memtypes.LineAddr]*MSHREntry)
+}

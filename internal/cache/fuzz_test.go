@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// FuzzCacheOperations drives a cache with an arbitrary operation tape and
+// checks structural invariants after every step: no duplicate residency,
+// miss classification adds up, and MSHR occupancy stays within capacity.
+func FuzzCacheOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 254, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		c := New(2048, 4, 4, len(tape)%2 == 0)
+		var pending []memtypes.LineAddr
+		for i := 0; i+1 < len(tape); i += 2 {
+			l := memtypes.LineAddr(int(tape[i]) % 40 * memtypes.LineSize)
+			switch tape[i+1] % 4 {
+			case 0, 1:
+				res, _, _ := c.Load(l, uint32(tape[i+1]), tape[i+1]%8 < 6)
+				if res == Miss || res == MissNoAlloc {
+					pending = append(pending, l)
+				}
+			case 2:
+				c.Store(l)
+			case 3:
+				if len(pending) > 0 {
+					c.Fill(pending[0])
+					pending = pending[1:]
+				}
+			}
+			if got := c.OutstandingFills(); got > 4 {
+				t.Fatalf("MSHR occupancy %d exceeds capacity", got)
+			}
+			if c.Stats.ColdMisses+c.Stats.CapConfMisses != c.Stats.LoadMisses {
+				t.Fatal("miss classification does not add up")
+			}
+		}
+		// No duplicate residency at the end.
+		seen := map[memtypes.LineAddr]int{}
+		for _, ln := range c.lines {
+			if ln.valid {
+				seen[ln.tag]++
+				if seen[ln.tag] > 1 {
+					t.Fatalf("line %#x resident twice", ln.tag)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package config defines the simulated GPU and Linebacker configurations.
+//
+// The defaults reproduce Table 1 (baseline GPU) and Table 3 (Linebacker
+// microarchitecture) of the ISCA '19 paper. All sizes are bytes unless a
+// field name says otherwise.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache-line and warp-register size in bytes. The paper
+// fixes both to 128 B so an evicted line maps onto one warp register.
+const LineSize = 128
+
+// GPU describes the baseline GPU of Table 1.
+type GPU struct {
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// ClockMHz is the core clock frequency in MHz.
+	ClockMHz int
+	// SIMDWidth is the number of threads per warp.
+	SIMDWidth int
+	// MaxThreadsPerSM, MaxWarpsPerSM and MaxCTAsPerSM are the hardware
+	// residency limits of one SM.
+	MaxThreadsPerSM int
+	MaxWarpsPerSM   int
+	MaxCTAsPerSM    int
+	// NumSchedulers is the number of warp schedulers per SM (GTO policy).
+	NumSchedulers int
+
+	// RegFileBytes is the register file capacity per SM.
+	RegFileBytes int
+	// RegFileBanks is the number of register file banks per SM.
+	RegFileBanks int
+	// SharedMemBytes is the shared memory capacity per SM (occupancy only).
+	SharedMemBytes int
+
+	// L1 data cache geometry per SM.
+	L1Bytes int
+	L1Ways  int
+	L1MSHRs int
+	// L1HitLatency is the load-to-use latency of an L1 hit in cycles.
+	L1HitLatency int
+
+	// L2 shared cache geometry.
+	L2Bytes int
+	L2Ways  int
+	// L2Latency is the minimum L1-miss-to-L2-hit latency in cycles
+	// (interconnect + tag + data). The paper quotes "minimum 200 cycles".
+	L2Latency int
+
+	// DRAM configuration.
+	DRAMBandwidthGBs float64 // aggregate off-chip bandwidth, GB/s
+	DRAMChannels     int
+	DRAMBanksPerChan int
+	DRAM             DRAMTiming
+
+	// Issue width per scheduler per cycle.
+	IssueWidth int
+	// MaxWarpMLP is the per-warp memory-level parallelism: the number of
+	// outstanding line requests a warp may have before it stalls. Real SMs
+	// keep many loads in flight per warp (score-boarded registers).
+	MaxWarpMLP int
+}
+
+// DRAMTiming holds the Table 1 DRAM timing parameters in DRAM-clock cycles.
+type DRAMTiming struct {
+	RCD float64
+	RP  float64
+	RC  float64
+	RRD float64
+	CL  float64
+	WR  float64
+	RAS float64
+}
+
+// Linebacker describes the Table 3 microarchitectural configuration of the
+// Linebacker structures.
+type Linebacker struct {
+	// WindowCycles is the IPC and per-load locality monitoring period.
+	WindowCycles int
+	// HitThreshold is the cache (L1+VTT) hit-ratio above which a load is
+	// classified as high locality.
+	HitThreshold float64
+	// IPCVarUpper and IPCVarLower are the fractional IPC-variation bounds
+	// that trigger throttling one more CTA (upper) or re-activating an
+	// inactive CTA (lower).
+	IPCVarUpper float64
+	IPCVarLower float64
+	// VTTWays is the set associativity of one victim tag table partition.
+	VTTWays int
+	// MaxPartitions is the maximum number of VTT partitions.
+	MaxPartitions int
+	// VPAccessLatency is the latency in cycles to probe one VTT partition.
+	VPAccessLatency int
+	// RegOffset is the first register number (exclusive) usable as victim
+	// storage: victim lines map to RN in (RegOffset, RegFile registers).
+	RegOffset int
+	// LMEntries is the number of load-monitor entries (hashed-PC indexed).
+	LMEntries int
+	// HPCBits is the width of the hashed PC.
+	HPCBits int
+	// BackupBufEntries is the register backup/restore buffer depth.
+	BackupBufEntries int
+	// MaxMonitorWindows bounds how many windows locality monitoring may run
+	// before Linebacker gives up (the paper monitors until two consecutive
+	// windows agree or the kernel ends; most apps converge in two).
+	MaxMonitorWindows int
+}
+
+// Energy holds per-access energies (pJ) for the energy model. The four
+// Linebacker structure energies are the paper's Table 3 CACTI numbers; the
+// remaining entries are conventional per-event costs used only for relative
+// comparisons between schemes.
+type Energy struct {
+	CTAManagerAccessPJ float64
+	HPCAccessPJ        float64
+	LMAccessPJ         float64
+	VTTAccessPJ        float64
+
+	RegFileAccessPJ float64 // one 128 B warp-register read/write
+	L1AccessPJ      float64 // one L1 tag+data access
+	L2AccessPJ      float64 // one L2 access
+	DRAMAccessPJ    float64 // one 128 B DRAM transfer
+	ExecPJ          float64 // one warp instruction executed
+	StaticWattsSM   float64 // per-SM static power
+}
+
+// Config bundles everything a simulation run needs.
+type Config struct {
+	GPU    GPU
+	LB     Linebacker
+	Energy Energy
+	// MaxCycles caps simulation length (0 = run to completion).
+	MaxCycles int64
+	// Seed drives the deterministic workload PRNG.
+	Seed uint64
+}
+
+// Default returns the paper's baseline configuration (Tables 1 and 3).
+func Default() Config {
+	return Config{
+		GPU: GPU{
+			NumSMs:           16,
+			ClockMHz:         1126,
+			SIMDWidth:        32,
+			MaxThreadsPerSM:  2048,
+			MaxWarpsPerSM:    64,
+			MaxCTAsPerSM:     32,
+			NumSchedulers:    4,
+			RegFileBytes:     256 * 1024,
+			RegFileBanks:     32,
+			SharedMemBytes:   96 * 1024,
+			L1Bytes:          48 * 1024,
+			L1Ways:           8,
+			L1MSHRs:          64,
+			L1HitLatency:     24,
+			L2Bytes:          2048 * 1024,
+			L2Ways:           8,
+			L2Latency:        200,
+			DRAMBandwidthGBs: 352.5,
+			DRAMChannels:     8,
+			DRAMBanksPerChan: 8,
+			DRAM: DRAMTiming{
+				RCD: 12, RP: 12, RC: 40, RRD: 5.5, CL: 12, WR: 12, RAS: 28,
+			},
+			IssueWidth: 1,
+			MaxWarpMLP: 4,
+		},
+		LB: Linebacker{
+			WindowCycles:      50000,
+			HitThreshold:      0.20,
+			IPCVarUpper:       0.10,
+			IPCVarLower:       -0.10,
+			VTTWays:           4,
+			MaxPartitions:     8,
+			VPAccessLatency:   3,
+			RegOffset:         511,
+			LMEntries:         32,
+			HPCBits:           5,
+			BackupBufEntries:  6,
+			MaxMonitorWindows: 8,
+		},
+		Energy: Energy{
+			CTAManagerAccessPJ: 1.94,
+			HPCAccessPJ:        0.09,
+			LMAccessPJ:         0.32,
+			VTTAccessPJ:        2.05,
+			RegFileAccessPJ:    48.0,
+			L1AccessPJ:         60.0,
+			L2AccessPJ:         240.0,
+			DRAMAccessPJ:       4000.0,
+			ExecPJ:             20.0,
+			StaticWattsSM:      1.2,
+		},
+		MaxCycles: 0,
+		Seed:      1,
+	}
+}
+
+// Scaled returns the default configuration shrunk by the given factor for
+// fast tests and benches: fewer SMs and a proportionally shorter monitoring
+// window. factor must be >= 1; Scaled(1) equals Default().
+//
+// The Linebacker controller operates on per-window ratios (hit ratio, IPC
+// variation), so shrinking the window preserves behaviour shapes; tests
+// verify this on a sample of workloads.
+func Scaled(factor int) Config {
+	c := Default()
+	if factor <= 1 {
+		return c
+	}
+	c.GPU.NumSMs = maxInt(1, c.GPU.NumSMs/factor)
+	c.LB.WindowCycles = maxInt(500, c.LB.WindowCycles/factor)
+	return c
+}
+
+// L1Sets returns the number of L1 sets for the configured geometry.
+func (g *GPU) L1Sets() int { return g.L1Bytes / (LineSize * g.L1Ways) }
+
+// WarpRegisters returns the number of 128 B warp-registers in the RF.
+func (g *GPU) WarpRegisters() int { return g.RegFileBytes / LineSize }
+
+// BytesPerCycle returns the off-chip DRAM bandwidth in bytes per core cycle.
+func (g *GPU) BytesPerCycle() float64 {
+	return g.DRAMBandwidthGBs * 1e9 / (float64(g.ClockMHz) * 1e6)
+}
+
+// Validate reports the first configuration inconsistency found, if any.
+func (c *Config) Validate() error {
+	g := &c.GPU
+	switch {
+	case g.NumSMs <= 0:
+		return errors.New("config: NumSMs must be positive")
+	case g.SIMDWidth <= 0:
+		return errors.New("config: SIMDWidth must be positive")
+	case g.MaxWarpsPerSM <= 0 || g.MaxCTAsPerSM <= 0:
+		return errors.New("config: residency limits must be positive")
+	case g.RegFileBytes%LineSize != 0:
+		return fmt.Errorf("config: RegFileBytes %d not a multiple of line size", g.RegFileBytes)
+	case g.L1Bytes%(LineSize*g.L1Ways) != 0:
+		return fmt.Errorf("config: L1 %d B not divisible into %d-way 128 B sets", g.L1Bytes, g.L1Ways)
+	case g.L2Bytes%(LineSize*g.L2Ways) != 0:
+		return fmt.Errorf("config: L2 %d B not divisible into %d-way 128 B sets", g.L2Bytes, g.L2Ways)
+	case g.NumSchedulers <= 0:
+		return errors.New("config: NumSchedulers must be positive")
+	case g.RegFileBanks <= 0:
+		return errors.New("config: RegFileBanks must be positive")
+	case g.MaxWarpMLP <= 0:
+		return errors.New("config: MaxWarpMLP must be positive")
+	}
+	l := &c.LB
+	switch {
+	case l.WindowCycles <= 0:
+		return errors.New("config: WindowCycles must be positive")
+	case l.VTTWays <= 0 || l.VTTWays > 32:
+		return fmt.Errorf("config: VTTWays %d out of range [1,32]", l.VTTWays)
+	case l.HitThreshold < 0 || l.HitThreshold > 1:
+		return fmt.Errorf("config: HitThreshold %v out of [0,1]", l.HitThreshold)
+	case l.IPCVarUpper < l.IPCVarLower:
+		return errors.New("config: IPCVarUpper below IPCVarLower")
+	case l.RegOffset < 0 || l.RegOffset >= g.WarpRegisters():
+		return fmt.Errorf("config: RegOffset %d outside register file (%d warp registers)", l.RegOffset, g.WarpRegisters())
+	case l.LMEntries <= 0 || l.HPCBits <= 0 || (1<<l.HPCBits) < l.LMEntries:
+		return fmt.Errorf("config: LM %d entries not addressable by %d-bit HPC", l.LMEntries, l.HPCBits)
+	case l.BackupBufEntries <= 0:
+		return errors.New("config: BackupBufEntries must be positive")
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

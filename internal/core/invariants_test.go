@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// TestVictimNeverOverlapsLiveRegisters steps a Linebacker run cycle by
+// cycle and asserts, at every cycle, the DESIGN.md §5 invariants:
+//
+//   - usable VTT partitions lie entirely above the largest live register
+//     number (victim lines never alias warp registers);
+//   - the number of active partitions never exceeds what the free register
+//     space allows;
+//   - at least one CTA stays active (no throttling deadlock).
+func TestVictimNeverOverlapsLiveRegisters(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPU.NumSMs = 1
+	g, err := sim.New(cfg, sensitiveKernel(), New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := g.SMPolicies()[0].(*SMState)
+	sm := g.SMs()[0]
+
+	for i := 0; i < 120_000; i++ {
+		g.Step()
+		if pol.phase != phaseActive {
+			continue
+		}
+		lrn := sm.RF().LargestLiveRN()
+		if first := pol.vtt.FirstUsableFor(lrn); pol.vtt.ActiveParts() > pol.vtt.MaxParts()-first {
+			t.Fatalf("cycle %d: %d partitions active, only %d fit above LRN %d",
+				i, pol.vtt.ActiveParts(), pol.vtt.MaxParts()-first, lrn)
+		}
+		if i > 20_000 && pol.activeCount() == 0 && sm.ResidentCTAs() > 0 {
+			// A fully-throttled SM with resident CTAs would deadlock; the
+			// only legal zero-active states are transient (during the very
+			// transition window).
+			if pol.trans == nil {
+				t.Fatalf("cycle %d: no active CTAs and no transition in flight", i)
+			}
+		}
+	}
+	if pol.throttleEvents == 0 {
+		t.Fatal("run never exercised throttling; invariant test vacuous")
+	}
+}
+
+// TestBackupRestoreRoundTrip drives a throttle and a forced restore and
+// checks the CTL bookkeeping: registers released only after the backup
+// completes (C=1), the restore re-reserves exactly the same count, and the
+// backup traffic equals #regs × 128 B in each direction.
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPU.NumSMs = 1
+	g, err := sim.New(cfg, sensitiveKernel(), New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := g.SMPolicies()[0].(*SMState)
+	sm := g.SMs()[0]
+
+	// Run until the first backup completes.
+	var slot int
+	for i := 0; i < 400_000; i++ {
+		g.Step()
+		if len(pol.inactiveStack) > 0 {
+			slot = pol.inactiveStack[0]
+			break
+		}
+	}
+	if len(pol.inactiveStack) == 0 {
+		t.Fatal("no CTA was backed up")
+	}
+	info := sm.CTA(slot)
+	if !info.Resident {
+		t.Fatal("inactive CTA must stay resident")
+	}
+	if info.FirstRN != -1 {
+		t.Fatal("backed-up CTA still holds a register allocation")
+	}
+	wantBytes := int64(sm.Kernel().RegsPerCTA()) * 128
+	if g.DRAM().Stats.RegBackupBytes < wantBytes {
+		t.Fatalf("backup traffic %d B < one CTA's registers %d B",
+			g.DRAM().Stats.RegBackupBytes, wantBytes)
+	}
+
+	// Force a restore and let it complete.
+	pol.startRestore(g.Cycle())
+	for i := 0; i < 400_000 && pol.slotStates[slot] != slotRunning; i++ {
+		g.Step()
+	}
+	if pol.slotStates[slot] != slotRunning {
+		t.Fatal("restore never completed")
+	}
+	info = sm.CTA(slot)
+	if info.FirstRN < 0 || info.RegCount != sm.Kernel().RegsPerCTA() {
+		t.Fatalf("restored CTA allocation broken: %+v", info)
+	}
+	if g.DRAM().Stats.RegRestoreBytes < wantBytes {
+		t.Fatalf("restore traffic %d B < one CTA's registers %d B",
+			g.DRAM().Stats.RegRestoreBytes, wantBytes)
+	}
+}
+
+// TestMonitoringSetEqualityRule checks the paper's subtle rule: selection
+// requires the *same* set of high-locality loads in two consecutive
+// windows; a strict subset must not be tagged.
+func TestMonitoringSetEqualityRule(t *testing.T) {
+	set := func(hs ...uint32) map[uint32]bool {
+		m := map[uint32]bool{}
+		for _, h := range hs {
+			m[h] = true
+		}
+		return m
+	}
+	// Subset of the previous window: tag nothing, keep monitoring.
+	action, out := decideMonitoring(set(1), set(1, 2), nil, 3, 8)
+	if action != monitorContinue {
+		t.Fatalf("subset window: action = %v, want continue", action)
+	}
+	if len(out) != 1 || !out[1] {
+		t.Fatalf("carried set = %v", out)
+	}
+	// Exact repeat: activate with that set.
+	action, out = decideMonitoring(set(1, 2), set(1, 2), nil, 3, 8)
+	if action != monitorActivate || len(out) != 2 {
+		t.Fatalf("exact match: action=%v set=%v", action, out)
+	}
+	// Superset is not equality either.
+	if a, _ := decideMonitoring(set(1, 2, 3), set(1, 2), nil, 3, 8); a != monitorContinue {
+		t.Fatalf("superset window: action = %v, want continue", a)
+	}
+	// Empty first two windows: disable.
+	if a, _ := decideMonitoring(set(), set(), nil, 2, 8); a != monitorDisable {
+		t.Fatal("empty windows must disable")
+	}
+	// One window is not enough to disable.
+	if a, _ := decideMonitoring(set(), set(), nil, 1, 8); a != monitorContinue {
+		t.Fatal("first window must not disable")
+	}
+	// Timeout with confirmed loads: settle for them.
+	action, out = decideMonitoring(set(3), set(1), []uint32{7}, 8, 8)
+	if action != monitorActivate || !out[7] {
+		t.Fatalf("timeout: action=%v set=%v", action, out)
+	}
+	// Timeout without confirmation: disable.
+	if a, _ := decideMonitoring(set(3), set(1), nil, 8, 8); a != monitorDisable {
+		t.Fatal("timeout without confirmation must disable")
+	}
+}
+
+// TestBackupBufferPacing asserts the 6-entry backup buffer bound: at no
+// cycle may more register transfers be in flight than the buffer holds.
+func TestBackupBufferPacing(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPU.NumSMs = 1
+	g, err := sim.New(cfg, sensitiveKernel(), New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := g.SMPolicies()[0].(*SMState)
+	sawTransfer := false
+	for i := 0; i < 200_000; i++ {
+		g.Step()
+		if tr := pol.trans; tr != nil {
+			sawTransfer = true
+			if tr.inflight > cfg.LB.BackupBufEntries {
+				t.Fatalf("cycle %d: %d transfers in flight, buffer holds %d",
+					i, tr.inflight, cfg.LB.BackupBufEntries)
+			}
+			if tr.sent < tr.done || tr.sent > tr.count {
+				t.Fatalf("cycle %d: transfer bookkeeping broken: %+v", i, tr)
+			}
+		}
+	}
+	if !sawTransfer {
+		t.Fatal("no backup/restore transfer observed; test vacuous")
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements Linebacker (ISCA '19): per-load locality
+// monitoring (Load Monitor), a register-file victim cache indexed by a
+// Victim Tag Table, and CTA throttling logic with register backup/restore —
+// the paper's Section 3 algorithm and Section 4 microarchitecture.
+package core
+
+// lmEntry is one Load Monitor row: the full PC of the (last) load hashed to
+// this row, its hit and miss counters for the current window, and the
+// two-bit valid history used for two-consecutive-window confirmation.
+type lmEntry struct {
+	pc    uint32
+	used  bool
+	hits  uint32
+	miss  uint32
+	valid uint8 // bit0: current window high-locality, bit1: previous window
+}
+
+// LoadMonitor is the paper's LM: a 32-entry array indexed by the 5-bit
+// hashed PC, counting per-load cache (L1 or victim-tag) hits and misses
+// within each monitoring window.
+type LoadMonitor struct {
+	entries  []lmEntry
+	accesses int64 // energy accounting: one per Observe
+}
+
+// NewLoadMonitor builds an LM with the given number of entries.
+func NewLoadMonitor(entries int) *LoadMonitor {
+	return &LoadMonitor{entries: make([]lmEntry, entries)}
+}
+
+// Accesses returns how many times the LM was consulted (for the energy
+// model).
+func (lm *LoadMonitor) Accesses() int64 { return lm.accesses }
+
+// Observe counts one load access. hpc indexes the table; pc is stored on
+// first touch. hit is true when the access hit in L1 or the victim tag
+// table.
+func (lm *LoadMonitor) Observe(hpc uint32, pc uint32, hit bool) {
+	lm.accesses++
+	e := &lm.entries[hpc%uint32(len(lm.entries))]
+	if !e.used {
+		e.used = true
+		e.pc = pc
+	}
+	if hit {
+		e.hits++
+	} else {
+		e.miss++
+	}
+}
+
+// EndWindow closes a monitoring window: every entry whose hit ratio meets
+// the threshold shifts a 1 into its valid history, everything else a 0, and
+// the hit/miss counters reset (PC and valid survive, as in the paper).
+// It returns the set of hashed PCs that were high-locality this window
+// (bit0) and the set confirmed across two consecutive windows (bit0&bit1).
+func (lm *LoadMonitor) EndWindow(threshold float64) (current, confirmed []uint32) {
+	for i := range lm.entries {
+		e := &lm.entries[i]
+		high := false
+		if e.used {
+			total := e.hits + e.miss
+			if total > 0 && float64(e.hits)/float64(total) >= threshold {
+				high = true
+			}
+		}
+		e.valid = (e.valid << 1) & 0b10
+		if high {
+			e.valid |= 1
+		}
+		if high {
+			current = append(current, uint32(i))
+		}
+		if e.valid == 0b11 {
+			confirmed = append(confirmed, uint32(i))
+		}
+		e.hits, e.miss = 0, 0
+	}
+	return current, confirmed
+}
+
+// Reset clears all entries.
+func (lm *LoadMonitor) Reset() {
+	for i := range lm.entries {
+		lm.entries[i] = lmEntry{}
+	}
+}
+
+// StorageBits returns the LM storage cost in bits (overhead accounting,
+// Section 4.2: three 4-byte registers plus a 2-bit valid per entry).
+func (lm *LoadMonitor) StorageBits() int {
+	return len(lm.entries) * (3*32 + 2)
+}

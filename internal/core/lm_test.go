@@ -1,0 +1,103 @@
+package core
+
+import "testing"
+
+func TestLMHighLocalitySelection(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	// Load at HPC 3: 30% hit ratio; load at HPC 7: 5%.
+	for i := 0; i < 100; i++ {
+		lm.Observe(3, 0x100, i%10 < 3)
+		lm.Observe(7, 0x200, i%20 == 0)
+	}
+	cur, confirmed := lm.EndWindow(0.20)
+	if len(cur) != 1 || cur[0] != 3 {
+		t.Fatalf("window 1 high-locality = %v, want [3]", cur)
+	}
+	if len(confirmed) != 0 {
+		t.Fatalf("confirmed after one window = %v, want none", confirmed)
+	}
+	// Second window, same behaviour: confirmed.
+	for i := 0; i < 100; i++ {
+		lm.Observe(3, 0x100, i%10 < 3)
+		lm.Observe(7, 0x200, false)
+	}
+	cur, confirmed = lm.EndWindow(0.20)
+	if len(cur) != 1 || len(confirmed) != 1 || confirmed[0] != 3 {
+		t.Fatalf("window 2: cur=%v confirmed=%v", cur, confirmed)
+	}
+}
+
+func TestLMValidBitsShift(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	lm.Observe(5, 0x50, true)
+	lm.EndWindow(0.2) // window 1: high
+	// Window 2: no accesses → not high; valid history becomes 10.
+	_, confirmed := lm.EndWindow(0.2)
+	if len(confirmed) != 0 {
+		t.Fatalf("confirmed = %v after a cold window", confirmed)
+	}
+	// Window 3: high again, but bit1 is now 0 → still not confirmed.
+	lm.Observe(5, 0x50, true)
+	_, confirmed = lm.EndWindow(0.2)
+	if len(confirmed) != 0 {
+		t.Fatalf("confirmed = %v, non-consecutive windows must not confirm", confirmed)
+	}
+	// Window 4: high → two consecutive highs → confirmed.
+	lm.Observe(5, 0x50, true)
+	_, confirmed = lm.EndWindow(0.2)
+	if len(confirmed) != 1 || confirmed[0] != 5 {
+		t.Fatalf("confirmed = %v, want [5]", confirmed)
+	}
+}
+
+func TestLMCountersResetPerWindow(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	for i := 0; i < 10; i++ {
+		lm.Observe(1, 0x10, true)
+	}
+	lm.EndWindow(0.2)
+	// One miss only in window 2: ratio 0 → not high.
+	lm.Observe(1, 0x10, false)
+	cur, _ := lm.EndWindow(0.2)
+	if len(cur) != 0 {
+		t.Fatalf("hit counters leaked across windows: %v", cur)
+	}
+}
+
+func TestLMThresholdBoundary(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	// Exactly 20%: 1 hit, 4 misses.
+	lm.Observe(2, 0x20, true)
+	for i := 0; i < 4; i++ {
+		lm.Observe(2, 0x20, false)
+	}
+	cur, _ := lm.EndWindow(0.20)
+	if len(cur) != 1 {
+		t.Fatalf("ratio == threshold should classify high, got %v", cur)
+	}
+}
+
+func TestLMAccessesAndStorage(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	lm.Observe(0, 1, true)
+	lm.Observe(0, 1, false)
+	if lm.Accesses() != 2 {
+		t.Fatalf("accesses = %d", lm.Accesses())
+	}
+	// Section 4.2: 32 entries * (3 * 32-bit + 2 bit) = 392 bytes = 3136 bits.
+	if lm.StorageBits() != 3136 {
+		t.Fatalf("storage = %d bits, want 3136 (392 B)", lm.StorageBits())
+	}
+}
+
+func TestLMReset(t *testing.T) {
+	lm := NewLoadMonitor(32)
+	lm.Observe(4, 0x40, true)
+	lm.EndWindow(0.2)
+	lm.Reset()
+	lm.Observe(4, 0x40, true)
+	_, confirmed := lm.EndWindow(0.2)
+	if len(confirmed) != 0 {
+		t.Fatal("Reset did not clear valid history")
+	}
+}

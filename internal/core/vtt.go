@@ -1,0 +1,221 @@
+package core
+
+import (
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// VTT is the Victim Tag Table: up to MaxPartitions tag arrays (VPs), each a
+// ways-way set-associative structure with the same set count as the L1
+// (48 sets). Partition N maps its entries onto warp-registers by Equation 2:
+//
+//	RN = Offset + N*sets*ways + set*ways + way
+//
+// Partitions become usable only when their whole register range lies above
+// the largest live register number (and the backing registers have been
+// backed up); the usable partitions always form a suffix [lo, MaxPartitions).
+type VTT struct {
+	sets, ways int
+	maxParts   int
+	offset     int
+
+	lo      int        // first usable partition
+	entries []vttEntry // indexed [part][set][way] flattened
+	stamp   int64
+
+	// Accesses counts partition probes for the energy model (one per
+	// partition searched).
+	Accesses int64
+	// Hits/Installs/Drops/StoreInvalidates count victim-cache events.
+	Hits             int64
+	Installs         int64
+	Drops            int64 // replacements of a valid victim line
+	StoreInvalidates int64
+}
+
+type vttEntry struct {
+	valid bool
+	tag   memtypes.LineAddr
+	lru   int64
+}
+
+// NewVTT builds a victim tag table. offset is the paper's register-number
+// offset (511); totalRegs bounds the mappable register numbers.
+func NewVTT(sets, ways, maxParts, offset, totalRegs int) *VTT {
+	// Clamp maxParts so every partition maps within the register file
+	// (the highest RN is offset + maxParts*sets*ways).
+	for maxParts > 0 && offset+maxParts*sets*ways > totalRegs-1 {
+		maxParts--
+	}
+	return &VTT{
+		sets: sets, ways: ways, maxParts: maxParts, offset: offset,
+		lo:      maxParts, // nothing usable until SetUsable is called
+		entries: make([]vttEntry, maxParts*sets*ways),
+	}
+}
+
+// PartRegs returns the warp-registers covered by one partition.
+func (v *VTT) PartRegs() int { return v.sets * v.ways }
+
+// MaxParts returns the partition count limit.
+func (v *VTT) MaxParts() int { return v.maxParts }
+
+// ActiveParts returns the number of usable partitions.
+func (v *VTT) ActiveParts() int { return v.maxParts - v.lo }
+
+// CapacityBytes returns the active victim storage in bytes.
+func (v *VTT) CapacityBytes() int { return v.ActiveParts() * v.PartRegs() * memtypes.LineSize }
+
+// FirstUsableFor returns the lowest partition index whose whole register
+// range lies strictly above lrn (the largest live register number).
+// Partition N occupies RNs [offset+1+N*partRegs, offset+(N+1)*partRegs].
+func (v *VTT) FirstUsableFor(lrn int) int {
+	for n := 0; n < v.maxParts; n++ {
+		if v.offset+1+n*v.PartRegs() > lrn {
+			return n
+		}
+	}
+	return v.maxParts
+}
+
+// SetUsable marks partitions [lo, maxParts) usable, invalidating entries of
+// partitions that drop out (victim lines are never dirty, so dropping them
+// is always safe).
+func (v *VTT) SetUsable(lo int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > v.maxParts {
+		lo = v.maxParts
+	}
+	if lo > v.lo {
+		// Partitions [v.lo, lo) are reclaimed: drop their lines.
+		for p := v.lo; p < lo; p++ {
+			base := p * v.PartRegs()
+			for i := 0; i < v.PartRegs(); i++ {
+				v.entries[base+i] = vttEntry{}
+			}
+		}
+	}
+	v.lo = lo
+}
+
+func (v *VTT) setIndex(line memtypes.LineAddr) int {
+	return int((uint64(line) / memtypes.LineSize) % uint64(v.sets))
+}
+
+func (v *VTT) entry(part, set, way int) *vttEntry {
+	return &v.entries[part*v.PartRegs()+set*v.ways+way]
+}
+
+// rn computes Equation 2 for a hit at (part, set, way). With the paper's
+// Offset of 511, victim lines map to RN 512–2047.
+func (v *VTT) rn(part, set, way int) int {
+	return v.offset + 1 + part*v.PartRegs() + set*v.ways + way
+}
+
+// Probe searches the usable partitions in sequential order. On a hit it
+// refreshes LRU and returns the register number and the probe latency in
+// partition-steps (1 = found in the first partition searched).
+func (v *VTT) Probe(line memtypes.LineAddr) (rn int, steps int, ok bool) {
+	set := v.setIndex(line)
+	for p := v.lo; p < v.maxParts; p++ {
+		v.Accesses++
+		for w := 0; w < v.ways; w++ {
+			e := v.entry(p, set, w)
+			if e.valid && e.tag == line {
+				v.stamp++
+				e.lru = v.stamp
+				v.Hits++
+				return v.rn(p, set, w), p - v.lo + 1, true
+			}
+		}
+	}
+	return 0, v.ActiveParts(), false
+}
+
+// Insert stores an evicted line, preferring invalid entries (the paper
+// replaces store-invalidated lines in priority) and otherwise the LRU entry
+// across all usable partitions of the set. It reports the register number
+// written and whether a valid victim line was displaced.
+func (v *VTT) Insert(line memtypes.LineAddr) (rn int, displaced bool, ok bool) {
+	if v.ActiveParts() == 0 {
+		return 0, false, false
+	}
+	set := v.setIndex(line)
+	v.Accesses++
+	// If the line is already present, refresh it.
+	for p := v.lo; p < v.maxParts; p++ {
+		for w := 0; w < v.ways; w++ {
+			e := v.entry(p, set, w)
+			if e.valid && e.tag == line {
+				v.stamp++
+				e.lru = v.stamp
+				return v.rn(p, set, w), false, true
+			}
+		}
+	}
+	var victim *vttEntry
+	vp, vw := 0, 0
+	for p := v.lo; p < v.maxParts; p++ {
+		for w := 0; w < v.ways; w++ {
+			e := v.entry(p, set, w)
+			if !e.valid {
+				victim, vp, vw = e, p, w
+				goto place
+			}
+			if victim == nil || e.lru < victim.lru {
+				victim, vp, vw = e, p, w
+			}
+		}
+	}
+place:
+	displaced = victim.valid
+	if displaced {
+		v.Drops++
+	}
+	v.stamp++
+	*victim = vttEntry{valid: true, tag: line, lru: v.stamp}
+	v.Installs++
+	return v.rn(vp, set, vw), displaced, true
+}
+
+// InvalidateLine drops the victim copy of a stored-to line (write-evict:
+// victim lines are never dirty). It returns whether a copy existed.
+func (v *VTT) InvalidateLine(line memtypes.LineAddr) bool {
+	set := v.setIndex(line)
+	for p := v.lo; p < v.maxParts; p++ {
+		for w := 0; w < v.ways; w++ {
+			e := v.entry(p, set, w)
+			if e.valid && e.tag == line {
+				*e = vttEntry{}
+				v.StoreInvalidates++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InvalidateAll clears every entry (monitoring → active transition).
+func (v *VTT) InvalidateAll() {
+	for i := range v.entries {
+		v.entries[i] = vttEntry{}
+	}
+}
+
+// Utilization returns the valid fraction of active-partition entries.
+func (v *VTT) Utilization() float64 {
+	if v.ActiveParts() == 0 {
+		return 0
+	}
+	n := 0
+	for p := v.lo; p < v.maxParts; p++ {
+		base := p * v.PartRegs()
+		for i := 0; i < v.PartRegs(); i++ {
+			if v.entries[base+i].valid {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(v.ActiveParts()*v.PartRegs())
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+func newTestVTT() *VTT {
+	// Paper geometry: 48 sets, 4 ways, 8 partitions, offset 511, 2048 regs.
+	return NewVTT(48, 4, 8, 511, 2048)
+}
+
+func lineInSet(set, n int) memtypes.LineAddr {
+	return memtypes.LineAddr((set + n*48) * memtypes.LineSize)
+}
+
+func TestVTTGeometry(t *testing.T) {
+	v := newTestVTT()
+	if v.PartRegs() != 192 {
+		t.Fatalf("partition regs = %d, want 192 (24 KB)", v.PartRegs())
+	}
+	if v.MaxParts() != 8 {
+		t.Fatalf("max partitions = %d, want 8", v.MaxParts())
+	}
+	if v.ActiveParts() != 0 {
+		t.Fatal("partitions usable before SetUsable")
+	}
+	v.SetUsable(0)
+	if v.CapacityBytes() != 8*24*1024 {
+		t.Fatalf("capacity = %d", v.CapacityBytes())
+	}
+}
+
+func TestVTTClampsToRegisterFile(t *testing.T) {
+	// Offset 511 with 1024 registers: only 2 partitions fit (511+2*192=895).
+	v := NewVTT(48, 4, 8, 511, 1024)
+	if v.MaxParts() != 2 {
+		t.Fatalf("clamped partitions = %d, want 2", v.MaxParts())
+	}
+}
+
+func TestVTTEquation2RNRange(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(0)
+	seen := map[int]bool{}
+	for n := 0; n < 400; n++ {
+		l := lineInSet(n%48, n)
+		rn, _, ok := v.Insert(l)
+		if !ok {
+			t.Fatal("insert failed with all partitions usable")
+		}
+		if rn <= 511 || rn > 2047 {
+			t.Fatalf("RN %d outside (511, 2047]", rn)
+		}
+		if rnBack, _, hit := v.Probe(l); !hit || rnBack != rn {
+			t.Fatalf("probe after insert: rn=%d hit=%v, want %d", rnBack, hit, rn)
+		}
+		seen[rn] = true
+	}
+	if len(seen) != 400 {
+		t.Fatalf("distinct RNs = %d, want 400 (no collisions while space remains)", len(seen))
+	}
+}
+
+func TestVTTFirstUsableFor(t *testing.T) {
+	v := newTestVTT()
+	// Partition N occupies RNs [512+192N, 511+192(N+1)].
+	cases := []struct{ lrn, want int }{
+		{-1, 0},   // empty register file: everything usable
+		{400, 0},  // live regs below offset
+		{511, 0},  // partition 0 base 512 is above LRN 511
+		{512, 1},  // LRN overlaps partition 0
+		{703, 1},  // partition 0 top is 703; partition 1 base 704 clears it
+		{704, 2},  // LRN overlaps partition 1
+		{2047, 8}, // full file: nothing usable
+	}
+	for _, c := range cases {
+		if got := v.FirstUsableFor(c.lrn); got != c.want {
+			t.Fatalf("FirstUsableFor(%d) = %d, want %d", c.lrn, got, c.want)
+		}
+	}
+}
+
+func TestVTTShrinkDropsLines(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(0)
+	l := lineInSet(5, 0)
+	v.Insert(l)
+	v.SetUsable(4) // partitions 0-3 reclaimed
+	if _, _, hit := v.Probe(l); hit {
+		t.Fatal("line survived partition reclamation")
+	}
+	if v.ActiveParts() != 4 {
+		t.Fatalf("active = %d", v.ActiveParts())
+	}
+}
+
+func TestVTTInsertPrefersInvalidated(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(7) // single partition, 4 ways
+	var lines []memtypes.LineAddr
+	for n := 0; n < 4; n++ {
+		l := lineInSet(0, n)
+		lines = append(lines, l)
+		v.Insert(l)
+	}
+	// Invalidate the second (a store hit), then insert a new line: it must
+	// take the invalidated slot, keeping the other three.
+	if !v.InvalidateLine(lines[1]) {
+		t.Fatal("invalidate failed")
+	}
+	v.Insert(lineInSet(0, 9))
+	for _, l := range []memtypes.LineAddr{lines[0], lines[2], lines[3], lineInSet(0, 9)} {
+		if _, _, hit := v.Probe(l); !hit {
+			t.Fatalf("line %#x lost; insert did not prefer the invalidated way", l)
+		}
+	}
+}
+
+func TestVTTLRUReplacementWithinSet(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(7) // 4 ways in one partition
+	for n := 0; n < 4; n++ {
+		v.Insert(lineInSet(3, n))
+	}
+	v.Probe(lineInSet(3, 0)) // refresh line 0
+	_, displaced, _ := v.Insert(lineInSet(3, 4))
+	if !displaced {
+		t.Fatal("full set must displace")
+	}
+	if _, _, hit := v.Probe(lineInSet(3, 0)); !hit {
+		t.Fatal("recently probed line was displaced (not LRU)")
+	}
+	if _, _, hit := v.Probe(lineInSet(3, 1)); hit {
+		t.Fatal("LRU line survived displacement")
+	}
+}
+
+func TestVTTProbeLatencySteps(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(0)
+	// Fill one set across partitions: first 4 inserts land in partition 0.
+	l := lineInSet(7, 0)
+	v.Insert(l)
+	if _, steps, ok := v.Probe(l); !ok || steps != 1 {
+		t.Fatalf("steps = %d, want 1 (first partition)", steps)
+	}
+	// A miss searches every active partition.
+	if _, steps, ok := v.Probe(lineInSet(7, 99)); ok || steps != 8 {
+		t.Fatalf("miss steps = %d, want 8", steps)
+	}
+}
+
+func TestVTTInsertRefreshesDuplicate(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(0)
+	l := lineInSet(2, 0)
+	rn1, _, _ := v.Insert(l)
+	rn2, displaced, ok := v.Insert(l)
+	if !ok || displaced || rn1 != rn2 {
+		t.Fatalf("duplicate insert: rn %d vs %d displaced=%v", rn1, rn2, displaced)
+	}
+}
+
+func TestVTTUtilization(t *testing.T) {
+	v := newTestVTT()
+	v.SetUsable(7)
+	if v.Utilization() != 0 {
+		t.Fatal("empty utilization != 0")
+	}
+	v.Insert(lineInSet(0, 0))
+	if got := v.Utilization(); got != 1.0/192.0 {
+		t.Fatalf("utilization = %v", got)
+	}
+}
+
+// Property: register numbers are unique across all valid entries and always
+// within the mappable range.
+func TestVTTRNUniqueProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		v := newTestVTT()
+		v.SetUsable(0)
+		rnOf := map[memtypes.LineAddr]int{}
+		for _, op := range ops {
+			l := memtypes.LineAddr(int(op%997) * memtypes.LineSize)
+			switch op % 3 {
+			case 0, 1:
+				rn, _, ok := v.Insert(l)
+				if !ok {
+					return false
+				}
+				if rn <= 511 || rn > 2047 {
+					return false
+				}
+				rnOf[l] = rn
+			case 2:
+				v.InvalidateLine(l)
+				delete(rnOf, l)
+			}
+		}
+		// Probe everything still tracked: hits must return the stored RN
+		// unless displaced; collect RNs of current hits and check unique.
+		used := map[int]memtypes.LineAddr{}
+		for l := range rnOf {
+			if rn, _, hit := v.Probe(l); hit {
+				if prev, dup := used[rn]; dup && prev != l {
+					return false
+				}
+				used[rn] = l
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

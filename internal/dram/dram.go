@@ -1,0 +1,233 @@
+// Package dram models the off-chip DRAM of Table 1: multiple channels of
+// banks with open-row timing (RCD/RP/RC/CL/WR/RAS in core cycles) under an
+// aggregate bandwidth cap of 352.5 GB/s. Scheduling is FR-FCFS-lite: within
+// a channel, the oldest row-hit request is served before older row-misses.
+//
+// The model is line-granular (128 B per request) and driven by Tick once per
+// core cycle.
+package dram
+
+import (
+	"container/heap"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+const rowBytes = 2048 // open-row (page) size
+
+// Stats aggregates DRAM traffic.
+type Stats struct {
+	Reads           int64
+	Writes          int64
+	BytesRead       int64
+	BytesWritten    int64
+	RegBackupBytes  int64 // subset: Linebacker register backup writes
+	RegRestoreBytes int64 // subset: Linebacker register restore reads
+	RowHits         int64
+	RowMisses       int64
+	// BusyCycles counts cycles in which at least one request was in service.
+	BusyCycles int64
+}
+
+// TotalBytes returns all off-chip traffic in bytes.
+func (s *Stats) TotalBytes() int64 { return s.BytesRead + s.BytesWritten }
+
+type bank struct {
+	openRow   int64
+	rowValid  bool
+	readyAt   int64 // earliest cycle the bank can start a new access
+	lastActAt int64 // cycle of last activate, for tRC
+}
+
+type pending struct {
+	req  *memtypes.Request
+	done int64
+}
+
+type doneHeap []pending
+
+func (h doneHeap) Len() int           { return len(h) }
+func (h doneHeap) Less(i, j int) bool { return h[i].done < h[j].done }
+func (h doneHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *doneHeap) Push(x any)        { *h = append(*h, x.(pending)) }
+func (h *doneHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// DRAM is the off-chip memory model.
+type DRAM struct {
+	timing   config.DRAMTiming
+	channels int
+	banks    []bank // channels * banksPerChan
+	perChan  int
+
+	queues [][]*memtypes.Request // one FIFO per channel
+
+	bytesPerCycle float64
+	tokens        float64
+	maxTokens     float64
+
+	inflight doneHeap
+
+	Stats Stats
+}
+
+// New builds the DRAM model from the GPU configuration.
+func New(g *config.GPU) *DRAM {
+	d := &DRAM{
+		timing:        g.DRAM,
+		channels:      g.DRAMChannels,
+		perChan:       g.DRAMBanksPerChan,
+		banks:         make([]bank, g.DRAMChannels*g.DRAMBanksPerChan),
+		queues:        make([][]*memtypes.Request, g.DRAMChannels),
+		bytesPerCycle: g.BytesPerCycle(),
+	}
+	d.maxTokens = d.bytesPerCycle * 4 // small burst window
+	return d
+}
+
+// channelOf maps a line to a channel by low-order line bits (interleaved).
+func (d *DRAM) channelOf(l memtypes.LineAddr) int {
+	return int((uint64(l) / memtypes.LineSize) % uint64(d.channels))
+}
+
+func (d *DRAM) bankOf(l memtypes.LineAddr) (ch, bk int, row int64) {
+	ch = d.channelOf(l)
+	lineNo := uint64(l) / memtypes.LineSize
+	bk = int((lineNo / uint64(d.channels)) % uint64(d.perChan))
+	row = int64(uint64(l) / rowBytes / uint64(d.channels*d.perChan))
+	return ch, bk, row
+}
+
+// Enqueue accepts a line request. The caller keeps ownership of req; the
+// same pointer is surfaced by Tick when service completes.
+func (d *DRAM) Enqueue(req *memtypes.Request) {
+	ch := d.channelOf(req.Line)
+	d.queues[ch] = append(d.queues[ch], req)
+}
+
+// QueueLen returns the number of waiting (unscheduled) requests.
+func (d *DRAM) QueueLen() int {
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Inflight returns the number of scheduled but not yet completed requests.
+func (d *DRAM) Inflight() int { return len(d.inflight) }
+
+// Tick advances one core cycle and returns the requests whose data transfer
+// completes at this cycle.
+func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
+	d.tokens += d.bytesPerCycle
+	if d.tokens > d.maxTokens {
+		d.tokens = d.maxTokens
+	}
+	// Schedule new work per channel.
+	for ch := 0; ch < d.channels; ch++ {
+		d.schedule(ch, cycle)
+	}
+	if len(d.inflight) > 0 {
+		d.Stats.BusyCycles++
+	}
+	var out []*memtypes.Request
+	for len(d.inflight) > 0 && d.inflight[0].done <= cycle {
+		p := heap.Pop(&d.inflight).(pending)
+		out = append(out, p.req)
+	}
+	return out
+}
+
+// schedule starts at most one request on the channel this cycle (the data
+// bus is shared), preferring the oldest row hit (FR-FCFS-lite).
+func (d *DRAM) schedule(ch int, cycle int64) {
+	q := d.queues[ch]
+	if len(q) == 0 || d.tokens < memtypes.LineSize {
+		return
+	}
+	// The scheduler inspects a bounded window of the queue head (a real
+	// controller's transaction queue is finite); this also bounds the
+	// per-cycle cost under heavy congestion.
+	window := len(q)
+	if window > 16 {
+		window = 16
+	}
+	pick := -1
+	// First pass: oldest row hit on a ready bank.
+	for i, req := range q[:window] {
+		_, bk, row := d.bankOf(req.Line)
+		b := &d.banks[ch*d.perChan+bk]
+		if b.readyAt <= cycle && b.rowValid && b.openRow == row {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// Second pass: oldest request on a ready bank.
+		for i, req := range q[:window] {
+			_, bk, _ := d.bankOf(req.Line)
+			b := &d.banks[ch*d.perChan+bk]
+			if b.readyAt <= cycle {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	req := q[pick]
+	d.queues[ch] = append(q[:pick], q[pick+1:]...)
+	_, bk, row := d.bankOf(req.Line)
+	b := &d.banks[ch*d.perChan+bk]
+
+	t := &d.timing
+	var lat float64
+	switch {
+	case b.rowValid && b.openRow == row:
+		lat = t.CL
+		d.Stats.RowHits++
+	case b.rowValid:
+		// Precharge + activate + CAS; honour tRC between activates.
+		lat = t.RP + t.RCD + t.CL
+		if gap := float64(cycle - b.lastActAt); gap < t.RC {
+			lat += t.RC - gap
+		}
+		b.lastActAt = cycle + int64(t.RP)
+		d.Stats.RowMisses++
+	default:
+		lat = t.RCD + t.CL
+		b.lastActAt = cycle
+		d.Stats.RowMisses++
+	}
+	b.openRow, b.rowValid = row, true
+
+	write := req.Kind == memtypes.Store || req.Kind == memtypes.RegBackup
+	if write {
+		lat += t.WR
+	}
+	// Data transfer time under the aggregate bandwidth cap.
+	d.tokens -= memtypes.LineSize
+	xfer := float64(memtypes.LineSize) / d.bytesPerCycle * float64(d.channels)
+	if xfer < 1 {
+		xfer = 1
+	}
+	done := cycle + int64(lat+xfer)
+	b.readyAt = done
+	heap.Push(&d.inflight, pending{req: req, done: done})
+
+	if write {
+		d.Stats.Writes++
+		d.Stats.BytesWritten += memtypes.LineSize
+		if req.Kind == memtypes.RegBackup {
+			d.Stats.RegBackupBytes += memtypes.LineSize
+		}
+	} else {
+		d.Stats.Reads++
+		d.Stats.BytesRead += memtypes.LineSize
+		if req.Kind == memtypes.RegRestore {
+			d.Stats.RegRestoreBytes += memtypes.LineSize
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package energy models GPU energy consumption as event counts times
+// per-access energies plus static power — the GPUWattch/CACTI substitution
+// described in DESIGN.md. The per-access energies of the Linebacker
+// structures are the paper's own Table 3 numbers; the conventional
+// components use representative constants. Absolute joules are not
+// meaningful; the package exists for the relative comparisons of Figure 18.
+package energy
+
+import (
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// Breakdown itemises a run's energy in joules.
+type Breakdown struct {
+	Exec    float64
+	RegFile float64
+	L1      float64
+	L2      float64
+	DRAM    float64
+	LBExtra float64 // LM + VTT + CTA manager + HPC fields
+	Static  float64
+}
+
+// Total returns the summed energy.
+func (b *Breakdown) Total() float64 {
+	return b.Exec + b.RegFile + b.L1 + b.L2 + b.DRAM + b.LBExtra + b.Static
+}
+
+// Compute derives the energy of a run from its result.
+func Compute(cfg *config.Config, r *sim.Result) Breakdown {
+	e := &cfg.Energy
+	pj := func(count int64, per float64) float64 { return float64(count) * per * 1e-12 }
+
+	var b Breakdown
+	b.Exec = pj(r.Instructions, e.ExecPJ)
+	b.RegFile = pj(r.RF.TotalAccesses(), e.RegFileAccessPJ)
+
+	l1Accesses := r.TotalLoadReqs() + r.Stores
+	b.L1 = pj(l1Accesses, e.L1AccessPJ)
+
+	l2Accesses := r.L2.TotalLoadAccesses() + r.L2.StoreHits + r.L2.StoreMisses
+	b.L2 = pj(l2Accesses, e.L2AccessPJ)
+
+	b.DRAM = pj(r.DRAM.TotalBytes()/memtypes.LineSize, e.DRAMAccessPJ)
+
+	lb := r.Extra["lb_lm_accesses"]*e.LMAccessPJ +
+		r.Extra["lb_vtt_accesses"]*e.VTTAccessPJ +
+		r.Extra["lb_ctamgr_accesses"]*e.CTAManagerAccessPJ +
+		r.Extra["lb_hpc_accesses"]*e.HPCAccessPJ
+	// Extra stats are per-SM averages; scale to the whole GPU.
+	b.LBExtra = lb * float64(cfg.GPU.NumSMs) * 1e-12
+
+	seconds := float64(r.Cycles) / (float64(cfg.GPU.ClockMHz) * 1e6)
+	b.Static = e.StaticWattsSM * float64(cfg.GPU.NumSMs) * seconds
+	return b
+}
+
+// PerInstruction returns energy per retired warp instruction, the
+// fixed-work-comparable metric used to normalise Figure 18 (runs are
+// fixed-cycle, so energy per unit of work is the meaningful ratio).
+func PerInstruction(cfg *config.Config, r *sim.Result) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	b := Compute(cfg, r)
+	return b.Total() / float64(r.Instructions)
+}

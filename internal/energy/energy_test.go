@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+func testResult() *sim.Result {
+	r := &sim.Result{
+		Cycles:       100000,
+		Instructions: 200000,
+		Extra:        map[string]float64{},
+	}
+	r.Loads[sim.OutHit] = 10000
+	r.Loads[sim.OutMiss] = 5000
+	r.Stores = 2000
+	r.RF.OperandAccesses = 600000
+	r.L2.LoadHits = 2000
+	r.L2.LoadMisses = 3000
+	r.DRAM.BytesRead = 3000 * 128
+	r.DRAM.BytesWritten = 1000 * 128
+	return r
+}
+
+func TestComputeComponents(t *testing.T) {
+	cfg := config.Default()
+	r := testResult()
+	b := Compute(&cfg, r)
+	if b.Exec <= 0 || b.RegFile <= 0 || b.L1 <= 0 || b.L2 <= 0 || b.DRAM <= 0 || b.Static <= 0 {
+		t.Fatalf("component missing: %+v", b)
+	}
+	if b.LBExtra != 0 {
+		t.Fatalf("LB energy without LB stats: %v", b.LBExtra)
+	}
+	// DRAM should dominate per-access costs: 4000 pJ * 4000 lines = 16 µJ.
+	wantDRAM := 4000.0 * 4000 * 1e-12
+	if diff := b.DRAM - wantDRAM; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("DRAM energy = %v, want %v", b.DRAM, wantDRAM)
+	}
+	if b.Total() <= b.DRAM {
+		t.Fatal("total not cumulative")
+	}
+}
+
+func TestLinebackerStructureEnergy(t *testing.T) {
+	cfg := config.Default()
+	r := testResult()
+	r.Extra["lb_lm_accesses"] = 1000
+	r.Extra["lb_vtt_accesses"] = 2000
+	r.Extra["lb_ctamgr_accesses"] = 10
+	r.Extra["lb_hpc_accesses"] = 5000
+	b := Compute(&cfg, r)
+	// Per-SM averages × 16 SMs × Table 3 energies.
+	want := (1000*0.32 + 2000*2.05 + 10*1.94 + 5000*0.09) * 16 * 1e-12
+	if diff := b.LBExtra - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("LB energy = %v, want %v", b.LBExtra, want)
+	}
+}
+
+func TestPerInstruction(t *testing.T) {
+	cfg := config.Default()
+	r := testResult()
+	pi := PerInstruction(&cfg, r)
+	b := Compute(&cfg, r)
+	if pi <= 0 || pi != b.Total()/float64(r.Instructions) {
+		t.Fatalf("per-instruction = %v", pi)
+	}
+	r.Instructions = 0
+	if PerInstruction(&cfg, r) != 0 {
+		t.Fatal("zero instructions should yield 0")
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	cfg := config.Default()
+	r1, r2 := testResult(), testResult()
+	r2.Cycles *= 2
+	b1, b2 := Compute(&cfg, r1), Compute(&cfg, r2)
+	if b2.Static <= b1.Static {
+		t.Fatal("static energy must grow with cycles")
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/linebacker-sim/linebacker/internal/plot"
+)
+
+// Chart converts a rendered experiment table into a grouped bar chart: the
+// first column becomes the x-axis labels and every column whose cells parse
+// as numbers becomes a series. Percent cells are plotted as fractions.
+// Tables without numeric columns (the config tables) return an error.
+func (t *Table) Chart() (*plot.Chart, error) {
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("harness: table %s has no rows", t.ID)
+	}
+	numeric := make([]bool, len(t.Header))
+	for col := 1; col < len(t.Header); col++ {
+		any := false
+		ok := true
+		for _, row := range t.Rows {
+			if col >= len(row) || row[col] == "" {
+				continue
+			}
+			if _, err := parseCell(row[col]); err != nil {
+				ok = false
+				break
+			}
+			any = true
+		}
+		numeric[col] = ok && any
+	}
+
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("%s: %s", t.ID, t.Title),
+		XLabel: t.Header[0],
+	}
+	for col, isNum := range numeric {
+		if isNum {
+			c.Series = append(c.Series, plot.Series{Name: t.Header[col]})
+		}
+	}
+	if len(c.Series) == 0 {
+		return nil, fmt.Errorf("harness: table %s has no numeric columns to plot", t.ID)
+	}
+	for _, row := range t.Rows {
+		c.Labels = append(c.Labels, row[0])
+		si := 0
+		for col, isNum := range numeric {
+			if !isNum {
+				continue
+			}
+			v := 0.0
+			if col < len(row) && row[col] != "" {
+				v, _ = parseCell(row[col])
+			}
+			c.Series[si].Values = append(c.Series[si].Values, v)
+			si++
+		}
+	}
+	if strings.Contains(strings.ToLower(t.Title), "normalized") {
+		ref := 1.0
+		c.RefLine = &ref
+		c.YLabel = "speedup (normalized)"
+	}
+	return c, nil
+}
+
+// parseCell parses "1.23", "45.6%" (as 0.456) or plain integers.
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	t := &Table{ID: "figX", Title: "Performance (normalized to Best-SWL)",
+		Header: []string{"App", "CERF", "Linebacker", "Class"}}
+	t.AddRow("S2", "1.17", "1.28", "sensitive")
+	t.AddRow("BI", "1.12", "1.20", "sensitive")
+	t.AddRow("GM", "1.01", "1.12", "")
+	return t
+}
+
+func TestTableToChart(t *testing.T) {
+	c, err := chartTable().Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (Class column is not numeric)", len(c.Series))
+	}
+	if c.Series[1].Name != "Linebacker" || c.Series[1].Values[2] != 1.12 {
+		t.Fatalf("series broken: %+v", c.Series)
+	}
+	if c.RefLine == nil || *c.RefLine != 1.0 {
+		t.Fatal("normalized table must get a 1.0 reference line")
+	}
+	if len(c.Labels) != 3 || c.Labels[0] != "S2" {
+		t.Fatalf("labels = %v", c.Labels)
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "Linebacker") {
+		t.Fatal("svg missing series")
+	}
+}
+
+func TestPercentCellsPlotAsFractions(t *testing.T) {
+	tab := &Table{ID: "p", Title: "x", Header: []string{"App", "Hit"}}
+	tab.AddRow("A", "45.0%")
+	c, err := tab.Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Series[0].Values[0] != 0.45 {
+		t.Fatalf("percent parsed as %v", c.Series[0].Values[0])
+	}
+}
+
+func TestConfigTablesRejectChart(t *testing.T) {
+	tab := &Table{ID: "table1", Title: "config", Header: []string{"Parameter", "Value"}}
+	tab.AddRow("# of SMs", "16 SMs") // non-numeric
+	if _, err := tab.Chart(); err == nil {
+		t.Fatal("config table produced a chart")
+	}
+}

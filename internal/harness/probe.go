@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/stats"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// ProbeResult carries the per-load statistics of an instrumented baseline
+// run, averaged over SMs (Figures 2 and 3).
+type ProbeResult struct {
+	Loads []stats.LoadStats
+}
+
+// RunProbe executes the benchmark under the baseline policy with a per-load
+// probe attached to every SM and returns merged per-load statistics.
+func (r *Runner) RunProbe(bench string) *ProbeResult {
+	key := "probe|" + bench
+	r.mu.Lock()
+	if res, ok := r.probeCache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	res := r.executeProbe(bench)
+	<-r.sem
+
+	r.mu.Lock()
+	r.probeCache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+func (r *Runner) executeProbe(bench string) *ProbeResult {
+	b, ok := workload.ByName(bench)
+	if !ok {
+		panic("harness: unknown benchmark " + bench)
+	}
+	g, err := sim.New(r.Cfg, b.Kernel, sim.Baseline{})
+	if err != nil {
+		panic(err)
+	}
+	probes := make([]*stats.LoadProbe, len(g.SMs()))
+	for i, smx := range g.SMs() {
+		p := stats.NewLoadProbe(int64(r.Cfg.LB.WindowCycles))
+		probes[i] = p
+		smx.Probe = func(warpSlot int, pc uint32, line memtypes.LineAddr, isStore bool, cycle int64) {
+			if !isStore {
+				p.Observe(pc, line, cycle)
+			}
+		}
+	}
+	g.Run(r.cycles(&r.Cfg))
+	return &ProbeResult{Loads: mergeProbes(probes)}
+}
+
+// mergeProbes averages per-PC statistics across SMs.
+func mergeProbes(probes []*stats.LoadProbe) []stats.LoadStats {
+	type acc struct {
+		s stats.LoadStats
+		n int
+	}
+	accs := map[uint32]*acc{}
+	var order []uint32
+	for _, p := range probes {
+		for _, l := range p.Results() {
+			a := accs[l.PC]
+			if a == nil {
+				a = &acc{s: stats.LoadStats{PC: l.PC}}
+				accs[l.PC] = a
+				order = append(order, l.PC)
+			}
+			a.s.AvgAccesses += l.AvgAccesses
+			a.s.AvgReusedBytes += l.AvgReusedBytes
+			a.s.AvgUniqueBytes += l.AvgUniqueBytes
+			a.s.ReaccessRatio += l.ReaccessRatio
+			a.n++
+		}
+	}
+	var out []stats.LoadStats
+	for _, pc := range order {
+		a := accs[pc]
+		n := float64(a.n)
+		out = append(out, stats.LoadStats{
+			PC:             pc,
+			AvgAccesses:    a.s.AvgAccesses / n,
+			AvgReusedBytes: a.s.AvgReusedBytes / n,
+			AvgUniqueBytes: a.s.AvgUniqueBytes / n,
+			ReaccessRatio:  a.s.ReaccessRatio / n,
+		})
+	}
+	// Keep top-accessed first, as stats.LoadProbe.Results does.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].AvgAccesses > out[j-1].AvgAccesses; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

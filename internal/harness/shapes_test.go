@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/schemes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/stats"
+)
+
+// shapeSample is a representative benchmark subset for the fast regression
+// checks below: two capacity-sensitive apps, one throttling-friendly app,
+// one stream-filter app and one insensitive app.
+var shapeSample = []string{"S2", "BC", "CF", "BI", "HS"}
+
+// TestPaperShapesQuick asserts the paper's headline qualitative claims on a
+// reduced benchmark sample at bench scale. The full-suite equivalents live
+// in EXPERIMENTS.md via cmd/lbfig.
+func TestPaperShapesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape regression is slow")
+	}
+	r := NewRunner(BenchConfig(), 12)
+
+	var lbS, baseS, cerfConfS, lbConfS []float64
+	for _, name := range shapeSample {
+		base := r.Run(name, sim.Baseline{})
+		lbr := r.Run(name, core.New())
+		cerf := r.Run(name, schemes.CERF{})
+		_, swl := r.BestSWL(name)
+
+		lbS = append(lbS, Speedup(lbr, swl))
+		baseS = append(baseS, Speedup(base, swl))
+
+		// Figure 17 shape: Linebacker must not increase off-chip traffic
+		// per instruction, and backup/restore must stay a small share.
+		basePer := float64(base.DRAM.TotalBytes()) / float64(base.Instructions)
+		lbPer := float64(lbr.DRAM.TotalBytes()) / float64(lbr.Instructions)
+		if lbPer > basePer*1.1 {
+			t.Errorf("%s: LB traffic/instr %.1f exceeds baseline %.1f", name, lbPer, basePer)
+		}
+		if tot := lbr.DRAM.TotalBytes(); tot > 0 {
+			share := float64(lbr.DRAM.RegBackupBytes+lbr.DRAM.RegRestoreBytes) / float64(tot)
+			if share > 0.05 {
+				t.Errorf("%s: backup/restore share %.1f%% too high", name, share*100)
+			}
+		}
+
+		// Figure 16 inputs: bank conflicts per instruction, normalized to
+		// this app's baseline (aggregated below — the paper's claim is an
+		// average, and apps with heavy victim traffic can exceed CERF).
+		baseConf := float64(base.RF.BankConflicts) / float64(base.Instructions)
+		if baseConf > 0 {
+			cerfConfS = append(cerfConfS, float64(cerf.RF.BankConflicts)/float64(cerf.Instructions)/baseConf)
+			lbConfS = append(lbConfS, float64(lbr.RF.BankConflicts)/float64(lbr.Instructions)/baseConf)
+		}
+	}
+	// Figure 16 shape: on average CERF pays at least as many extra bank
+	// conflicts as Linebacker, and both exceed the baseline.
+	if c, l := stats.Mean(cerfConfS), stats.Mean(lbConfS); c < l*0.7 || c < 1.0 {
+		t.Errorf("bank conflicts: CERF %.2f vs LB %.2f vs baseline 1.0", c, l)
+	}
+	// Figure 12 shape on the sample: LB beats Best-SWL on GM, and Best-SWL
+	// beats plain baseline.
+	if gm := stats.GeoMean(lbS); gm < 1.02 {
+		t.Errorf("LB GM vs Best-SWL = %.3f, want > 1.02", gm)
+	}
+	if gm := stats.GeoMean(baseS); gm > 1.0 {
+		t.Errorf("baseline GM vs Best-SWL = %.3f, want < 1.0", gm)
+	}
+}
+
+// TestSeedStability verifies that the Linebacker-vs-baseline comparison is
+// not an artifact of one synthetic trace instance: across PRNG seeds the
+// speedup direction is unchanged.
+func TestSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed study is slow")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := BenchConfig()
+		cfg.Seed = seed
+		r := NewRunner(cfg, 12)
+		base := r.Run("BC", sim.Baseline{})
+		lbr := r.Run("BC", core.New())
+		if sp := Speedup(lbr, base); sp < 1.05 {
+			t.Errorf("seed %d: LB speedup %.3f degenerate", seed, sp)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package icnt models the on-chip interconnect between the SMs and the
+// shared L2 as fixed-latency, bandwidth-capped delay queues. One Link is a
+// unidirectional pipe; the GPU uses one per direction.
+package icnt
+
+import (
+	"container/heap"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+type entry struct {
+	req   *memtypes.Request
+	ready int64
+	seq   int64
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Link is a unidirectional, fixed-latency, bounded-throughput pipe.
+type Link struct {
+	latency  int64
+	perCycle int
+	q        entryHeap
+	seq      int64
+
+	// Sent counts requests accepted; Delivered counts requests handed out.
+	Sent      int64
+	Delivered int64
+}
+
+// New builds a link with the given traversal latency (cycles) and maximum
+// deliveries per cycle.
+func New(latency int64, perCycle int) *Link {
+	if latency < 0 || perCycle <= 0 {
+		panic("icnt: invalid link parameters")
+	}
+	return &Link{latency: latency, perCycle: perCycle}
+}
+
+// Send injects a request at the given cycle.
+func (l *Link) Send(req *memtypes.Request, cycle int64) {
+	l.seq++
+	heap.Push(&l.q, entry{req: req, ready: cycle + l.latency, seq: l.seq})
+	l.Sent++
+}
+
+// Deliver returns up to perCycle requests whose traversal has completed by
+// the given cycle, in FIFO order of readiness.
+func (l *Link) Deliver(cycle int64) []*memtypes.Request {
+	var out []*memtypes.Request
+	for len(l.q) > 0 && l.q[0].ready <= cycle && len(out) < l.perCycle {
+		e := heap.Pop(&l.q).(entry)
+		out = append(out, e.req)
+		l.Delivered++
+	}
+	return out
+}
+
+// Pending returns the number of in-flight requests.
+func (l *Link) Pending() int { return len(l.q) }

@@ -1,0 +1,183 @@
+// Package plot renders experiment tables as standalone SVG bar charts so
+// reproduced figures can be compared with the paper's visually. It is
+// intentionally small: grouped vertical bars, a reference line at 1.0 for
+// normalized charts, axis labels, and a legend — no external dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one bar group member (one scheme).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a grouped bar chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Labels are the x-axis group labels (benchmark names).
+	Labels []string
+	Series []Series
+	// RefLine draws a horizontal reference (e.g. 1.0 for normalized data);
+	// nil disables it.
+	RefLine *float64
+}
+
+// palette is colour-blind-friendly (Okabe–Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	chartW   = 960
+	chartH   = 420
+	marginL  = 62
+	marginR  = 16
+	marginT  = 46
+	marginB  = 64
+	tickStep = 6 // target number of y ticks
+)
+
+// Validate reports structural problems (mismatched lengths, no data).
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 || len(c.Labels) == 0 {
+		return fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Labels) {
+			return fmt.Errorf("plot: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(c.Labels))
+		}
+	}
+	return nil
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if c.RefLine != nil && *c.RefLine > maxV {
+		maxV = *c.RefLine
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV *= 1.08 // headroom
+
+	plotW := float64(chartW - marginL - marginR)
+	plotH := float64(chartH - marginT - marginB)
+	x0, y0 := float64(marginL), float64(marginT)
+
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, chartW, chartH))
+	b.WriteString(fmt.Sprintf(`<rect width="%d" height="%d" fill="white"/>`, chartW, chartH))
+	b.WriteString(fmt.Sprintf(`<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`, marginL, esc(c.Title)))
+
+	// Y axis ticks and grid.
+	step := niceStep(maxV / tickStep)
+	for v := 0.0; v <= maxV+1e-9; v += step {
+		y := y0 + plotH - v/maxV*plotH
+		b.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`,
+			x0, y, x0+plotW, y))
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%s</text>`,
+			x0-6, y+3, trimFloat(v)))
+	}
+	if c.YLabel != "" {
+		b.WriteString(fmt.Sprintf(`<text x="14" y="%.1f" font-size="11" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`,
+			y0+plotH/2, y0+plotH/2, esc(c.YLabel)))
+	}
+
+	// Bars.
+	groups := len(c.Labels)
+	groupW := plotW / float64(groups)
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, label := range c.Labels {
+		gx := x0 + float64(gi)*groupW + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				v = 0
+			}
+			h := v / maxV * plotH
+			x := gx + float64(si)*barW
+			y := y0 + plotH - h
+			b.WriteString(fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.3f</title></rect>`,
+				x, y, barW*0.92, h, palette[si%len(palette)], esc(label), esc(s.Name), s.Values[gi]))
+		}
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`,
+			gx+groupW*0.4, y0+plotH+14, esc(label)))
+	}
+
+	// Reference line.
+	if c.RefLine != nil {
+		y := y0 + plotH - *c.RefLine/maxV*plotH
+		b.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#555" stroke-dasharray="5,4"/>`,
+			x0, y, x0+plotW, y))
+	}
+
+	// Axes.
+	b.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`,
+		x0, y0+plotH, x0+plotW, y0+plotH))
+	b.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`,
+		x0, y0, x0, y0+plotH))
+	if c.XLabel != "" {
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			x0+plotW/2, chartH-28, esc(c.XLabel)))
+	}
+
+	// Legend.
+	lx := x0
+	ly := float64(chartH - 12)
+	for si, s := range c.Series {
+		b.WriteString(fmt.Sprintf(`<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`,
+			lx, ly-9, palette[si%len(palette)]))
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="11">%s</text>`, lx+14, ly, esc(s.Name)))
+		lx += 18 + 7*float64(len(s.Name)) + 14
+	}
+
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// esc escapes XML-special characters.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceStep rounds a raw tick step to 1/2/5 × 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// trimFloat formats a tick label without trailing zeros.
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

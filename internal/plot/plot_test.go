@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	ref := 1.0
+	return &Chart{
+		Title:  "fig12: demo",
+		XLabel: "App",
+		YLabel: "speedup",
+		Labels: []string{"S2", "BI", "GM"},
+		Series: []Series{
+			{Name: "CERF", Values: []float64{1.17, 1.12, 1.01}},
+			{Name: "Linebacker", Values: []float64{1.28, 1.20, 1.12}},
+		},
+		RefLine: &ref,
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	for _, want := range []string{"fig12: demo", "Linebacker", "S2", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// One rect per bar (6) plus background and legend swatches (2).
+	if got := strings.Count(svg, "<rect"); got != 6+1+2 {
+		t.Fatalf("rect count = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := sample()
+	c.Series[0].Values = c.Series[0].Values[:1]
+	if err := c.Validate(); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := (&Chart{Title: "x"}).Validate(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := sample()
+	c.Title = `<&"injection">`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `<&`) {
+		t.Fatal("unescaped XML specials")
+	}
+	if !strings.Contains(svg, "&lt;&amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestDegenerateValues(t *testing.T) {
+	c := &Chart{
+		Title:  "deg",
+		Labels: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{0}}},
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{0.3: 0.5, 0.07: 0.1, 1.2: 2, 4: 5, 40: 50, 0: 1}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

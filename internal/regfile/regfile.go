@@ -1,0 +1,194 @@
+// Package regfile models one SM's banked register file: 256 KB organised as
+// 2048 warp-registers of 128 B spread over 32 banks. It tracks per-CTA
+// allocation (so statically and dynamically unused space can be measured),
+// and counts bank conflicts between warp-operand traffic and Linebacker /
+// CERF victim-line traffic — the Figure 16 metric.
+package regfile
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+)
+
+// Stats aggregates register file events.
+type Stats struct {
+	OperandAccesses int64 // warp operand reads+writes (register granularity)
+	VictimReads     int64 // victim-cache line reads (Reg hits)
+	VictimWrites    int64 // victim-line installs
+	BackupReads     int64 // register backup drains
+	RestoreWrites   int64 // register restore fills
+	BankConflicts   int64 // extra same-cycle same-bank accesses
+}
+
+// TotalAccesses returns every counted RF access.
+func (s *Stats) TotalAccesses() int64 {
+	return s.OperandAccesses + s.VictimReads + s.VictimWrites + s.BackupReads + s.RestoreWrites
+}
+
+type allocation struct {
+	first int // first warp-register number
+	count int
+}
+
+// RegFile is one SM's register file.
+type RegFile struct {
+	totalRegs int
+	banks     int
+
+	allocs map[int]allocation // CTA slot -> range
+	used   int                // warp-registers allocated
+
+	// bankUse is the per-bank access count within the current cycle.
+	bankUse   []uint16
+	bankCycle int64
+
+	Stats Stats
+}
+
+// New builds the register file for the given GPU configuration.
+func New(g *config.GPU) *RegFile {
+	return &RegFile{
+		totalRegs: g.WarpRegisters(),
+		banks:     g.RegFileBanks,
+		allocs:    make(map[int]allocation),
+		bankUse:   make([]uint16, g.RegFileBanks),
+	}
+}
+
+// TotalRegs returns the number of warp-registers.
+func (rf *RegFile) TotalRegs() int { return rf.totalRegs }
+
+// UsedRegs returns the number of allocated warp-registers.
+func (rf *RegFile) UsedRegs() int { return rf.used }
+
+// StaticallyUnusedBytes returns the register file space not allocated to any
+// resident CTA — the paper's SUR.
+func (rf *RegFile) StaticallyUnusedBytes() int {
+	return (rf.totalRegs - rf.used) * config.LineSize
+}
+
+// Alloc reserves count warp-registers for the CTA slot, first-fit from the
+// bottom of the file (matching the paper: throttled CTAs free the top).
+// It returns the first register number, or ok=false if space is lacking.
+func (rf *RegFile) Alloc(ctaSlot, count int) (first int, ok bool) {
+	if count <= 0 {
+		return 0, false
+	}
+	if _, dup := rf.allocs[ctaSlot]; dup {
+		panic(fmt.Sprintf("regfile: CTA slot %d already allocated", ctaSlot))
+	}
+	// First-fit scan over gaps between sorted allocations.
+	next := 0
+	for {
+		conflict := false
+		for _, a := range rf.allocs {
+			if next < a.first+a.count && a.first < next+count {
+				conflict = true
+				if a.first+a.count > next {
+					next = a.first + a.count
+				}
+			}
+		}
+		if !conflict {
+			break
+		}
+		if next+count > rf.totalRegs {
+			return 0, false
+		}
+	}
+	if next+count > rf.totalRegs {
+		return 0, false
+	}
+	rf.allocs[ctaSlot] = allocation{first: next, count: count}
+	rf.used += count
+	return next, true
+}
+
+// Free releases the CTA slot's registers.
+func (rf *RegFile) Free(ctaSlot int) {
+	a, ok := rf.allocs[ctaSlot]
+	if !ok {
+		return
+	}
+	delete(rf.allocs, ctaSlot)
+	rf.used -= a.count
+}
+
+// Range returns the [first, first+count) allocation of a CTA slot.
+func (rf *RegFile) Range(ctaSlot int) (first, count int, ok bool) {
+	a, found := rf.allocs[ctaSlot]
+	return a.first, a.count, found
+}
+
+// LargestLiveRN returns the highest register number of any allocation, or
+// -1 when empty — the paper's LRN used to gate VTT partition activation.
+func (rf *RegFile) LargestLiveRN() int {
+	lrn := -1
+	for _, a := range rf.allocs {
+		if last := a.first + a.count - 1; last > lrn {
+			lrn = last
+		}
+	}
+	return lrn
+}
+
+func (rf *RegFile) bankOf(rn int) int { return rn % rf.banks }
+
+// touch registers an access to rn at the cycle for conflict accounting and
+// returns true if the access collided with an earlier same-cycle access to
+// the same bank.
+func (rf *RegFile) touch(rn int, cycle int64) bool {
+	if cycle != rf.bankCycle {
+		for i := range rf.bankUse {
+			rf.bankUse[i] = 0
+		}
+		rf.bankCycle = cycle
+	}
+	b := rf.bankOf(rn)
+	rf.bankUse[b]++
+	if rf.bankUse[b] > 1 {
+		rf.Stats.BankConflicts++
+		return true
+	}
+	return false
+}
+
+// AccessOperands models the operand traffic of one issued warp instruction:
+// n register accesses at distinct (modelled) registers starting at baseRN.
+// It returns the number of bank conflicts incurred.
+func (rf *RegFile) AccessOperands(baseRN, n int, cycle int64) int {
+	conflicts := 0
+	for i := 0; i < n; i++ {
+		rf.Stats.OperandAccesses++
+		if rf.touch(baseRN+i, cycle) {
+			conflicts++
+		}
+	}
+	return conflicts
+}
+
+// VictimRead models reading a victim line from register rn (a Reg hit).
+// It returns true on a bank conflict (caller adds a cycle of latency).
+func (rf *RegFile) VictimRead(rn int, cycle int64) bool {
+	rf.Stats.VictimReads++
+	return rf.touch(rn, cycle)
+}
+
+// VictimWrite models installing an evicted line into register rn.
+func (rf *RegFile) VictimWrite(rn int, cycle int64) bool {
+	rf.Stats.VictimWrites++
+	return rf.touch(rn, cycle)
+}
+
+// BackupRead models draining one register during CTA backup.
+func (rf *RegFile) BackupRead(rn int, cycle int64) bool {
+	rf.Stats.BackupReads++
+	return rf.touch(rn, cycle)
+}
+
+// RestoreWrite models filling one register during CTA restore.
+func (rf *RegFile) RestoreWrite(rn int, cycle int64) bool {
+	rf.Stats.RestoreWrites++
+	return rf.touch(rn, cycle)
+}

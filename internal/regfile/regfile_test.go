@@ -1,0 +1,190 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+)
+
+func newRF() *RegFile {
+	cfg := config.Default()
+	return New(&cfg.GPU)
+}
+
+func TestCapacity(t *testing.T) {
+	rf := newRF()
+	if rf.TotalRegs() != 2048 {
+		t.Fatalf("256 KB RF: %d warp-registers, want 2048", rf.TotalRegs())
+	}
+	if rf.StaticallyUnusedBytes() != 256*1024 {
+		t.Fatalf("empty RF SUR = %d", rf.StaticallyUnusedBytes())
+	}
+}
+
+func TestAllocBottomUpAndSUR(t *testing.T) {
+	rf := newRF()
+	f0, ok := rf.Alloc(0, 512)
+	if !ok || f0 != 0 {
+		t.Fatalf("first alloc at %d ok=%v", f0, ok)
+	}
+	f1, ok := rf.Alloc(1, 512)
+	if !ok || f1 != 512 {
+		t.Fatalf("second alloc at %d ok=%v", f1, ok)
+	}
+	if rf.StaticallyUnusedBytes() != (2048-1024)*128 {
+		t.Fatalf("SUR = %d", rf.StaticallyUnusedBytes())
+	}
+	if rf.LargestLiveRN() != 1023 {
+		t.Fatalf("LRN = %d, want 1023", rf.LargestLiveRN())
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	rf := newRF()
+	rf.Alloc(0, 100)
+	rf.Alloc(1, 100)
+	rf.Free(0)
+	f, ok := rf.Alloc(2, 50)
+	if !ok || f != 0 {
+		t.Fatalf("freed hole not reused: first=%d ok=%v", f, ok)
+	}
+	// A block too big for the hole goes above allocation 1.
+	f3, ok := rf.Alloc(3, 80)
+	if !ok || f3 != 200 {
+		t.Fatalf("large alloc at %d ok=%v, want 200", f3, ok)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	rf := newRF()
+	if _, ok := rf.Alloc(0, 2048); !ok {
+		t.Fatal("full-file alloc should succeed")
+	}
+	if _, ok := rf.Alloc(1, 1); ok {
+		t.Fatal("alloc beyond capacity should fail")
+	}
+	if _, ok := rf.Alloc(2, 0); ok {
+		t.Fatal("zero-size alloc should fail")
+	}
+}
+
+func TestDoubleAllocPanics(t *testing.T) {
+	rf := newRF()
+	rf.Alloc(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate slot alloc should panic")
+		}
+	}()
+	rf.Alloc(0, 10)
+}
+
+func TestRangeAndLRN(t *testing.T) {
+	rf := newRF()
+	rf.Alloc(7, 64)
+	first, count, ok := rf.Range(7)
+	if !ok || first != 0 || count != 64 {
+		t.Fatalf("Range = %d,%d,%v", first, count, ok)
+	}
+	if _, _, ok := rf.Range(8); ok {
+		t.Fatal("Range of unallocated slot should be !ok")
+	}
+	rf.Free(7)
+	if rf.LargestLiveRN() != -1 {
+		t.Fatalf("LRN of empty file = %d, want -1", rf.LargestLiveRN())
+	}
+}
+
+func TestBankConflictCounting(t *testing.T) {
+	rf := newRF()
+	// Two accesses to same bank (rn and rn+banks) in one cycle: 1 conflict.
+	if rf.VictimRead(0, 1) {
+		t.Fatal("first access should not conflict")
+	}
+	if !rf.VictimRead(32, 1) {
+		t.Fatal("same-bank same-cycle access should conflict")
+	}
+	if rf.Stats.BankConflicts != 1 {
+		t.Fatalf("conflicts = %d", rf.Stats.BankConflicts)
+	}
+	// New cycle resets bank usage.
+	if rf.VictimRead(64, 2) {
+		t.Fatal("new cycle should not conflict")
+	}
+}
+
+func TestOperandAccessCounts(t *testing.T) {
+	rf := newRF()
+	c := rf.AccessOperands(0, 3, 5)
+	if c != 0 {
+		t.Fatalf("3 distinct banks conflicted: %d", c)
+	}
+	if rf.Stats.OperandAccesses != 3 {
+		t.Fatalf("operand accesses = %d", rf.Stats.OperandAccesses)
+	}
+	// 33 consecutive registers wrap the 32 banks once: 1 conflict.
+	rf2 := newRF()
+	if c := rf2.AccessOperands(0, 33, 1); c != 1 {
+		t.Fatalf("wrap conflicts = %d, want 1", c)
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	rf := newRF()
+	rf.AccessOperands(0, 2, 1)
+	rf.VictimRead(600, 2)
+	rf.VictimWrite(601, 3)
+	rf.BackupRead(10, 4)
+	rf.RestoreWrite(10, 5)
+	if rf.Stats.TotalAccesses() != 6 {
+		t.Fatalf("total = %d, want 6", rf.Stats.TotalAccesses())
+	}
+}
+
+// Property: allocations never overlap and never exceed capacity.
+func TestAllocNoOverlapProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		rf := newRF()
+		type rng struct{ first, count int }
+		live := map[int]rng{}
+		slot := 0
+		for i, s := range sizes {
+			n := int(s)%300 + 1
+			if i%5 == 4 && len(live) > 0 {
+				// Free an arbitrary live slot.
+				for k := range live {
+					rf.Free(k)
+					delete(live, k)
+					break
+				}
+				continue
+			}
+			if first, ok := rf.Alloc(slot, n); ok {
+				live[slot] = rng{first, n}
+			}
+			slot++
+		}
+		total := 0
+		var all []rng
+		for _, r := range live {
+			total += r.count
+			all = append(all, r)
+		}
+		if total != rf.UsedRegs() || total > rf.TotalRegs() {
+			return false
+		}
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				a, b := all[i], all[j]
+				if a.first < b.first+b.count && b.first < a.first+a.count {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package schemes
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// CacheExt is the Section 2.4 idealisation: the L1 is magically enlarged by
+// the unused register bytes — statically unused space always, plus the
+// dynamically unused space of a static warp limit when DURLimit > 0. It has
+// no bank conflicts and no management cost; the paper uses it to bound what
+// repurposed register space could achieve.
+type CacheExt struct {
+	// DURLimit, when positive, additionally counts the registers of CTAs
+	// throttled beyond the limit (pair with SWL{Limit: DURLimit}).
+	DURLimit int
+}
+
+// Name implements sim.Policy.
+func (c CacheExt) Name() string {
+	if c.DURLimit > 0 {
+		return fmt.Sprintf("CacheExt+DUR(%d)", c.DURLimit)
+	}
+	return "CacheExt"
+}
+
+// Attach implements sim.Policy.
+func (c CacheExt) Attach(sm *sim.SM) sim.SMPolicy {
+	g := &sm.Config().GPU
+	extra := SURBytes(g, sm.Kernel())
+	if c.DURLimit > 0 {
+		extra += DURBytes(g, sm.Kernel(), c.DURLimit)
+	}
+	sm.L1().Resize(g.L1Bytes + extra)
+	return cacheExtState{extra: extra}
+}
+
+type cacheExtState struct {
+	sim.BasePolicy
+	extra int
+}
+
+// ExtraStats implements sim.ExtraStatser.
+func (s cacheExtState) ExtraStats() map[string]float64 {
+	return map[string]float64{"cacheext_extra_bytes": float64(s.extra)}
+}

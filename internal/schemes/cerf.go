@@ -1,0 +1,56 @@
+package schemes
+
+import (
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// CERF is the Cache-Emulated Register File (Jing et al., MICRO '16): a
+// unified on-chip memory holding both the register file and the L1, sized
+// at their sum (304 KB in the paper's configuration). Register space not
+// used by resident warps serves as extra cache capacity.
+//
+// The model captures the two properties the paper's comparison rests on:
+//
+//  1. the L1 grows by the statically unused register bytes (no 24 KB
+//     granularity, no tag-search latency — CERF's advantage), and
+//  2. every cache access contends with warp-operand traffic for the unified
+//     structure's banks (CERF's weakness, Figures 14 and 16), and no
+//     streaming filter exists (its other weakness, Figure 12).
+type CERF struct{}
+
+// Name implements sim.Policy.
+func (CERF) Name() string { return "CERF" }
+
+// Attach implements sim.Policy: grow the L1 by the unused register bytes.
+func (CERF) Attach(sm *sim.SM) sim.SMPolicy {
+	sur := SURBytes(&sm.Config().GPU, sm.Kernel())
+	sm.L1().Resize(sm.Config().GPU.L1Bytes + sur)
+	return &cerfState{sm: sm, banks: sm.Config().GPU.RegFileBanks}
+}
+
+type cerfState struct {
+	sim.BasePolicy
+	sm    *sim.SM
+	banks int
+}
+
+// ExtraL1Latency models the unified-structure bank conflict: each cache
+// access occupies a register bank for the cycle; colliding with operand
+// traffic (or other cache accesses) costs extra latency.
+func (c *cerfState) ExtraL1Latency(line memtypes.LineAddr, cycle int64) int {
+	rn := int(uint64(line)/memtypes.LineSize) % c.sm.Config().GPU.WarpRegisters()
+	if c.sm.RF().VictimRead(rn, cycle) {
+		return 2
+	}
+	return 0
+}
+
+// ExtraStats implements sim.ExtraStatser.
+func (c *cerfState) ExtraStats() map[string]float64 {
+	return map[string]float64{
+		"cerf_unified_bytes": float64(c.sm.Config().GPU.L1Bytes +
+			SURBytes(&c.sm.Config().GPU, c.sm.Kernel()) + c.sm.RF().UsedRegs()*config.LineSize),
+	}
+}

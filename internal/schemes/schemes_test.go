@@ -1,0 +1,218 @@
+package schemes
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+func testConfig() config.Config {
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 2
+	cfg.GPU.DRAMBandwidthGBs = 88
+	cfg.GPU.DRAMChannels = 2
+	cfg.GPU.L2Bytes = 256 * 1024
+	cfg.LB.WindowCycles = 4000
+	return cfg
+}
+
+// thrashKernel combines per-warp tiles (aggregate footprint scales with the
+// active warp count, so throttling helps) with a shared per-SM sweep and a
+// streaming load; 8 CTAs of 8 warps × 24 regs leave 512 warp-registers
+// statically unused for victim caching.
+func thrashKernel() *workload.Kernel {
+	return workload.NewKernel("thrash",
+		[]workload.LoadSpec{
+			{Pattern: workload.Tiled, Scope: workload.PerWarp, WorkingSetBytes: 512, Coalesced: 1},
+			{Pattern: workload.Tiled, Scope: workload.PerWarp, WorkingSetBytes: 512, Coalesced: 1},
+			{Pattern: workload.Tiled, Scope: workload.PerSM, WorkingSetBytes: 16 * 1024, Coalesced: 4},
+		},
+		[]workload.LoadSpec{{Pattern: workload.Streaming, Scope: workload.PerWarp, Coalesced: 1}},
+		1, 8, 100000, 8, 24, 4096)
+}
+
+func run(t *testing.T, pol sim.Policy, cycles int64) *sim.Result {
+	t.Helper()
+	g, err := sim.New(testConfig(), thrashKernel(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(cycles)
+	return g.Collect()
+}
+
+func TestSWLLimitsActiveCTAs(t *testing.T) {
+	r := run(t, SWL{Limit: 2}, 60_000)
+	if r.Instructions == 0 {
+		t.Fatal("no progress under SWL")
+	}
+	// DUR should be positive: resident CTAs beyond the limit hold regs.
+	if r.Extra["swl_dur_bytes_avg"] <= 0 {
+		t.Fatalf("DUR = %v, want > 0", r.Extra["swl_dur_bytes_avg"])
+	}
+	if r.Extra["swl_limit"] != 2 {
+		t.Fatalf("limit stat = %v", r.Extra["swl_limit"])
+	}
+}
+
+func TestSWLThrottlingImprovesThrashingKernel(t *testing.T) {
+	base := run(t, sim.Baseline{}, 120_000)
+	best := base
+	for _, lim := range []int{1, 2, 3} {
+		r := run(t, SWL{Limit: lim}, 120_000)
+		if r.IPC() > best.IPC() {
+			best = r
+		}
+	}
+	if best.IPC() <= base.IPC() {
+		t.Fatalf("no SWL limit beats baseline (%.3f) on a thrashing kernel", base.IPC())
+	}
+}
+
+func TestSURAndDURAccounting(t *testing.T) {
+	cfg := config.Default()
+	k := thrashKernel() // 8 CTAs * 192 regs = 1536 used of 2048
+	if got := SURBytes(&cfg.GPU, k); got != 512*128 {
+		t.Fatalf("SUR = %d, want %d", got, 512*128)
+	}
+	if got := DURBytes(&cfg.GPU, k, 5); got != 3*192*128 {
+		t.Fatalf("DUR(5) = %d, want %d", got, 3*192*128)
+	}
+	if got := DURBytes(&cfg.GPU, k, 99); got != 0 {
+		t.Fatalf("DUR above residency = %d, want 0", got)
+	}
+}
+
+func TestPCALBypassesNonTokenWarps(t *testing.T) {
+	r := run(t, PCAL{}, 120_000)
+	if r.Loads[sim.OutBypass] == 0 {
+		t.Fatal("PCAL produced no bypasses after token reduction")
+	}
+	if r.Extra["pcal_tokens"] <= 0 {
+		t.Fatalf("tokens = %v", r.Extra["pcal_tokens"])
+	}
+}
+
+func TestCERFEnlargesL1AndConflicts(t *testing.T) {
+	g, err := sim.New(testConfig(), thrashKernel(), CERF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 KB + 64 KB SUR = 112 KB → 112*1024/(128*8) = 112 sets.
+	if got := g.SMs()[0].L1().Sets(); got != 112 {
+		t.Fatalf("CERF L1 sets = %d, want 112", got)
+	}
+	g.Run(60_000)
+	r := g.Collect()
+	base := run(t, sim.Baseline{}, 60_000)
+	if r.RF.BankConflicts <= base.RF.BankConflicts {
+		t.Fatalf("CERF bank conflicts %d not above baseline %d",
+			r.RF.BankConflicts, base.RF.BankConflicts)
+	}
+}
+
+func TestCacheExtIdealisation(t *testing.T) {
+	g, err := sim.New(testConfig(), thrashKernel(), CacheExt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SMs()[0].L1().Sets(); got != 112 {
+		t.Fatalf("CacheExt L1 sets = %d, want 112", got)
+	}
+	g.Run(120_000)
+	ext := g.Collect()
+	base := run(t, sim.Baseline{}, 120_000)
+	if ext.IPC() <= base.IPC() {
+		t.Fatalf("CacheExt IPC %.3f not above baseline %.3f on thrashing kernel",
+			ext.IPC(), base.IPC())
+	}
+	// With DUR: even larger.
+	g2, _ := sim.New(testConfig(), thrashKernel(), Combine("Best-SWL+CacheExt", CacheExt{DURLimit: 4}, SWL{Limit: 4}))
+	if got := g2.SMs()[0].L1().Sets(); got <= 112 {
+		t.Fatalf("CacheExt+DUR sets = %d, want > 112", got)
+	}
+}
+
+func TestStackComposition(t *testing.T) {
+	// PCAL+SVC: bypassing plus selective victim caching on SUR.
+	pol := Combine("PCAL+SVC", PCAL{}, core.NewWith(core.Options{Selection: true}))
+	r := run(t, pol, 150_000)
+	if r.Instructions == 0 {
+		t.Fatal("no progress under stacked policy")
+	}
+	if r.Extra["lb_monitor_windows"] == 0 {
+		t.Fatal("stacked SVC did not monitor")
+	}
+	if pol.Name() != "PCAL+SVC" {
+		t.Fatalf("name = %q", pol.Name())
+	}
+	if Combine("", PCAL{}, CERF{}).Name() != "PCAL+CERF" {
+		t.Fatal("derived name wrong")
+	}
+}
+
+func TestStackPermissionAND(t *testing.T) {
+	// SWL(1) stacked with SWL(2): effective limit is the intersection (1).
+	pol := Combine("swl-and", SWL{Limit: 1}, SWL{Limit: 2})
+	r := run(t, pol, 30_000)
+	single := run(t, SWL{Limit: 1}, 30_000)
+	// Same active-CTA constraint → similar IPC (identical schedule).
+	if r.Instructions != single.Instructions {
+		t.Fatalf("stacked AND semantics differ: %d vs %d", r.Instructions, single.Instructions)
+	}
+}
+
+func TestCCWSDeschedulesOnLostLocality(t *testing.T) {
+	r := run(t, CCWS{}, 120_000)
+	if r.Extra["ccws_lost_detections"] == 0 {
+		t.Fatal("no lost-locality detections on a thrashing kernel")
+	}
+	if r.Extra["ccws_desched_avg"] <= 0 {
+		t.Fatal("CCWS never descheduled warps")
+	}
+	base := run(t, sim.Baseline{}, 120_000)
+	if r.IPC() < base.IPC()*0.8 {
+		t.Fatalf("CCWS (%.3f) far below baseline (%.3f)", r.IPC(), base.IPC())
+	}
+}
+
+func TestCCWSIdleOnStreamingKernel(t *testing.T) {
+	// Streams never re-miss the same line, so no lost locality accrues and
+	// CCWS must not throttle.
+	k := workload.NewKernel("stream-ccws",
+		[]workload.LoadSpec{{Pattern: workload.Streaming, Scope: workload.PerWarp, Coalesced: 1}},
+		nil, 2, 8, 5000, 8, 24, 4096)
+	g, err := sim.New(testConfig(), k, CCWS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(60_000)
+	r := g.Collect()
+	if r.Extra["ccws_lost_detections"] != 0 {
+		t.Fatalf("streaming produced %v lost-locality detections", r.Extra["ccws_lost_detections"])
+	}
+	if r.Extra["ccws_desched_avg"] != 0 {
+		t.Fatal("CCWS throttled a streaming kernel")
+	}
+}
+
+func TestCCWSKeepsOneCTAWorthOfWarps(t *testing.T) {
+	// Even with an absurdly low deschedule threshold, a CTA's worth of
+	// warps must stay active.
+	pol := CCWS{ScorePerDescheduledWarp: 1e-6, ScoreHit: 1e6, DecayPerCycle: 1e-9}
+	g, err := sim.New(testConfig(), thrashKernel(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(40_000)
+	r := g.Collect()
+	if r.Extra["ccws_active_warps"] < float64(g.Kernel().WarpsPerCTA) {
+		t.Fatalf("active warps %v below one CTA (%d)", r.Extra["ccws_active_warps"], g.Kernel().WarpsPerCTA)
+	}
+	if r.Instructions == 0 {
+		t.Fatal("no forward progress under extreme CCWS throttling")
+	}
+}

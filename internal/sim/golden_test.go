@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+// TestGoldenDeterminism pins the exact outcome of one small reference run.
+// The simulator is fully deterministic, so any change to these numbers
+// means engine behaviour changed — intentional changes must update the
+// constants below (and re-check the EXPERIMENTS.md shapes).
+func TestGoldenDeterminism(t *testing.T) {
+	g, err := New(testConfig(), tinyKernel(50, 12), Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(0)
+	r := g.Collect()
+
+	want := struct {
+		cycles, instr, stores, l1Hits, dramBytes int64
+		loads                                    [5]int64
+	}{
+		cycles:    6349,
+		instr:     16800,
+		stores:    2400,
+		l1Hits:    1314,
+		dramBytes: 323584,
+		loads:     [5]int64{1314, 860, 2626, 0, 0},
+	}
+	if r.Cycles != want.cycles || r.Instructions != want.instr ||
+		r.Stores != want.stores || r.L1.LoadHits != want.l1Hits ||
+		r.DRAM.TotalBytes() != want.dramBytes || r.Loads != want.loads {
+		t.Fatalf("reference run diverged from golden values:\n got: cycles=%d instr=%d loads=%v stores=%d l1hits=%d dram=%d\nwant: %+v",
+			r.Cycles, r.Instructions, r.Loads, r.Stores, r.L1.LoadHits, r.DRAM.TotalBytes(), want)
+	}
+}

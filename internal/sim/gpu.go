@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/dram"
+	"github.com/linebacker-sim/linebacker/internal/icnt"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// l2PortsFor returns how many requests the L2 services per cycle: one slice
+// per two SMs, matching the paper's 16-SM / 8-slice proportion.
+func l2PortsFor(numSMs int) int {
+	p := numSMs / 2
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// GPU ties the SMs, interconnect, shared L2 and DRAM together and runs a
+// kernel under a Policy.
+type GPU struct {
+	cfg    config.Config
+	kernel *workload.Kernel
+	policy Policy
+
+	sms    []*SM
+	smpols []SMPolicy
+
+	toL2   *icnt.Link
+	fromL2 *icnt.Link
+
+	l2        *cache.Cache
+	l2Queue   []*memtypes.Request
+	l2Waiters map[memtypes.LineAddr][]*memtypes.Request
+	l2Service int64
+	l2Ports   int
+
+	dram *dram.DRAM
+
+	nextCTA int
+	cycle   int64
+}
+
+// New builds a GPU run. The config is copied; policies may adjust per-SM
+// structures in Attach.
+func New(cfg config.Config, k *workload.Kernel, pol Policy) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seed != 1 {
+		// Perturb the synthetic address generators: the default seed (1)
+		// leaves the kernel untouched so results are reproducible, while
+		// other seeds produce independent trace instances.
+		k = k.WithSeed(cfg.Seed)
+	}
+	g := &GPU{
+		cfg:       cfg,
+		kernel:    k,
+		policy:    pol,
+		l2:        cache.New(cfg.GPU.L2Bytes, cfg.GPU.L2Ways, 256, true),
+		l2Ports:   l2PortsFor(cfg.GPU.NumSMs),
+		l2Waiters: make(map[memtypes.LineAddr][]*memtypes.Request),
+		dram:      dram.New(&cfg.GPU),
+	}
+	// Split the minimum L2 round trip across request path, service, and
+	// response path.
+	lat := int64(cfg.GPU.L2Latency)
+	g.toL2 = icnt.New(lat*3/10, cfg.GPU.NumSMs*2)
+	g.l2Service = lat * 4 / 10
+	g.fromL2 = icnt.New(lat*3/10, cfg.GPU.NumSMs*2)
+
+	for i := 0; i < cfg.GPU.NumSMs; i++ {
+		sm := newSM(i, &g.cfg, k)
+		smp := pol.Attach(sm)
+		sm.pol = smp
+		g.sms = append(g.sms, sm)
+		g.smpols = append(g.smpols, smp)
+	}
+	return g, nil
+}
+
+// SMs exposes the SMs (for probes and tests).
+func (g *GPU) SMs() []*SM { return g.sms }
+
+// SMPolicies exposes the per-SM policy instances (for scheme statistics).
+func (g *GPU) SMPolicies() []SMPolicy { return g.smpols }
+
+// DRAM exposes the DRAM model (for traffic statistics).
+func (g *GPU) DRAM() *dram.DRAM { return g.dram }
+
+// L2 exposes the shared cache.
+func (g *GPU) L2() *cache.Cache { return g.l2 }
+
+// Cycle returns the current cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// Kernel returns the running kernel.
+func (g *GPU) Kernel() *workload.Kernel { return g.kernel }
+
+// Config returns the run configuration.
+func (g *GPU) Config() *config.Config { return &g.cfg }
+
+// Run simulates until the grid completes or maxCycles elapses (0 means use
+// cfg.MaxCycles; if that is also 0, run to completion). It returns the
+// final cycle count.
+func (g *GPU) Run(maxCycles int64) int64 {
+	if maxCycles == 0 {
+		maxCycles = g.cfg.MaxCycles
+	}
+	for {
+		if maxCycles > 0 && g.cycle >= maxCycles {
+			return g.cycle
+		}
+		if g.done() {
+			return g.cycle
+		}
+		g.Step()
+	}
+}
+
+// done reports grid completion: all CTAs dispatched and all SMs drained.
+func (g *GPU) done() bool {
+	if g.nextCTA < g.kernel.GridCTAs {
+		return false
+	}
+	for _, sm := range g.sms {
+		if sm.Busy() {
+			return false
+		}
+	}
+	return g.toL2.Pending() == 0 && g.fromL2.Pending() == 0 &&
+		len(g.l2Queue) == 0 && g.dram.QueueLen() == 0 && g.dram.Inflight() == 0
+}
+
+// Step advances the whole GPU by one cycle.
+func (g *GPU) Step() {
+	cyc := g.cycle
+
+	g.dispatch(cyc)
+
+	for _, sm := range g.sms {
+		sm.tick(cyc)
+		for _, req := range sm.drainOutbox() {
+			g.toL2.Send(req, cyc)
+		}
+	}
+
+	// Requests arriving at L2.
+	g.l2Queue = append(g.l2Queue, g.toL2.Deliver(cyc)...)
+	g.serviceL2(cyc)
+
+	// DRAM.
+	for _, req := range g.dram.Tick(cyc) {
+		g.dramComplete(req, cyc)
+	}
+
+	// Responses arriving at SMs.
+	for _, req := range g.fromL2.Deliver(cyc) {
+		g.sms[req.SM].handleResponse(req, cyc)
+	}
+
+	g.cycle++
+}
+
+// dispatch launches new CTAs into free slots, gated by each SM's policy.
+func (g *GPU) dispatch(cyc int64) {
+	for _, sm := range g.sms {
+		if g.nextCTA >= g.kernel.GridCTAs {
+			return
+		}
+		if sm.FreeSlot() < 0 || !sm.pol.AllowNewCTA() {
+			continue
+		}
+		if sm.launchCTA(g.nextCTA, cyc) {
+			g.nextCTA++
+		}
+	}
+}
+
+// serviceL2 processes up to l2Ports requests from the L2 input queue.
+func (g *GPU) serviceL2(cyc int64) {
+	n := 0
+	for n < g.l2Ports && len(g.l2Queue) > 0 {
+		req := g.l2Queue[0]
+		if !g.l2Access(req, cyc) {
+			break // L2 MSHRs exhausted: head-of-line retry next cycle
+		}
+		g.l2Queue = g.l2Queue[1:]
+		n++
+	}
+	if len(g.l2Queue) == 0 {
+		g.l2Queue = nil
+	}
+}
+
+// l2Access performs one L2 access; false means stall.
+func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
+	switch req.Kind {
+	case memtypes.RegBackup, memtypes.RegRestore:
+		// Register backup space is a dedicated off-chip region; it does not
+		// pollute the L2.
+		g.dram.Enqueue(req)
+		return true
+	case memtypes.Store:
+		res, ev, evicted := g.l2.Store(req.Line)
+		if evicted && ev.Dirty {
+			g.dram.Enqueue(&memtypes.Request{Line: ev.Line, Kind: memtypes.Store, SM: req.SM, WarpID: -1})
+		}
+		_ = res
+		return true
+	case memtypes.Load:
+		res, ev, evicted := g.l2.Load(req.Line, 0, true)
+		if evicted && ev.Dirty {
+			g.dram.Enqueue(&memtypes.Request{Line: ev.Line, Kind: memtypes.Store, SM: req.SM, WarpID: -1})
+		}
+		switch res {
+		case cache.Hit:
+			g.fromL2.Send(req, cyc+g.l2Service)
+		case cache.HitPending:
+			g.l2Waiters[req.Line] = append(g.l2Waiters[req.Line], req)
+		case cache.Miss, cache.MissNoAlloc:
+			g.dram.Enqueue(req)
+		case cache.Stall:
+			return false
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("sim: unexpected request kind %v at L2", req.Kind))
+	}
+}
+
+// dramComplete routes a finished DRAM access.
+func (g *GPU) dramComplete(req *memtypes.Request, cyc int64) {
+	switch req.Kind {
+	case memtypes.Store:
+		// Writeback or write-through completion: nothing to deliver.
+	case memtypes.Load:
+		g.l2.Fill(req.Line)
+		g.fromL2.Send(req, cyc)
+		for _, waiter := range g.l2Waiters[req.Line] {
+			g.fromL2.Send(waiter, cyc)
+		}
+		delete(g.l2Waiters, req.Line)
+	case memtypes.RegBackup, memtypes.RegRestore:
+		g.fromL2.Send(req, cyc)
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/dram"
+	"github.com/linebacker-sim/linebacker/internal/regfile"
+)
+
+// ExtraStatser is implemented by SM policies that export scheme-specific
+// metrics (victim cache bytes, monitoring windows, throttle level, ...).
+type ExtraStatser interface {
+	ExtraStats() map[string]float64
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Policy       string
+	Kernel       string
+	Cycles       int64
+	Instructions int64
+
+	// Per-line-request outcome counts summed over SMs (Figure 13).
+	Loads  [5]int64 // indexed by Outcome
+	Stores int64
+
+	L1   cache.Stats   // summed over SMs
+	RF   regfile.Stats // summed over SMs
+	L2   cache.Stats
+	DRAM dram.Stats
+
+	CTALaunches  int64
+	CTACompleted int64
+
+	// Extra holds scheme-specific metrics, averaged over SMs.
+	Extra map[string]float64
+}
+
+// IPC returns retired warp instructions per cycle over the whole GPU.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// TotalLoadReqs returns all load line-requests.
+func (r *Result) TotalLoadReqs() int64 {
+	var n int64
+	for _, v := range r.Loads {
+		n += v
+	}
+	return n
+}
+
+// HitRatio returns the combined L1 + victim (Reg) hit fraction of load
+// requests — the paper's "aggregated Reg hit and cache hit ratio".
+func (r *Result) HitRatio() float64 {
+	t := r.TotalLoadReqs()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Loads[OutHit]+r.Loads[OutRegHit]) / float64(t)
+}
+
+// RegHitRatio returns the victim-cache hit fraction of load requests.
+func (r *Result) RegHitRatio() float64 {
+	t := r.TotalLoadReqs()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Loads[OutRegHit]) / float64(t)
+}
+
+// Collect gathers the result of a completed run.
+func (g *GPU) Collect() *Result {
+	r := &Result{
+		Policy: g.policy.Name(),
+		Kernel: g.kernel.Name,
+		Cycles: g.cycle,
+		L2:     g.l2.Stats,
+		DRAM:   g.dram.Stats,
+		Extra:  map[string]float64{},
+	}
+	for _, sm := range g.sms {
+		r.Instructions += sm.Stats.Retired
+		for i, v := range sm.Stats.LoadReqs {
+			r.Loads[i] += v
+		}
+		r.Stores += sm.Stats.StoreReqs
+		r.CTALaunches += sm.Stats.CTALaunches
+		r.CTACompleted += sm.Stats.CTADone
+		addCacheStats(&r.L1, &sm.l1.Stats)
+		addRFStats(&r.RF, &sm.rf.Stats)
+	}
+	n := float64(len(g.smpols))
+	for _, p := range g.smpols {
+		if es, ok := p.(ExtraStatser); ok {
+			for k, v := range es.ExtraStats() {
+				r.Extra[k] += v / n
+			}
+		}
+	}
+	return r
+}
+
+func addCacheStats(dst, src *cache.Stats) {
+	dst.LoadHits += src.LoadHits
+	dst.LoadPendingHits += src.LoadPendingHits
+	dst.LoadMisses += src.LoadMisses
+	dst.ColdMisses += src.ColdMisses
+	dst.CapConfMisses += src.CapConfMisses
+	dst.StoreHits += src.StoreHits
+	dst.StoreMisses += src.StoreMisses
+	dst.Bypasses += src.Bypasses
+	dst.Evictions += src.Evictions
+	dst.DirtyEvictions += src.DirtyEvictions
+	dst.MSHRStalls += src.MSHRStalls
+}
+
+func addRFStats(dst, src *regfile.Stats) {
+	dst.OperandAccesses += src.OperandAccesses
+	dst.VictimReads += src.VictimReads
+	dst.VictimWrites += src.VictimWrites
+	dst.BackupReads += src.BackupReads
+	dst.RestoreWrites += src.RestoreWrites
+	dst.BankConflicts += src.BankConflicts
+}

@@ -1,0 +1,565 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/regfile"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// Warp is one resident warp context.
+type Warp struct {
+	Alive   bool
+	CTASlot int
+	Idx     int // index within the CTA
+	Seq     int // global CTA launch sequence (age for GTO)
+
+	iter       int
+	pcIdx      int
+	readyAt    int64
+	memPending int  // outstanding line requests of the current load
+	retired    bool // warp fully done, including outstanding memory
+}
+
+// ready reports whether the warp can issue at the cycle. A warp keeps
+// issuing past outstanding loads up to the configured memory-level
+// parallelism (mlp line requests in flight).
+func (w *Warp) ready(cycle int64, mlp int) bool {
+	return w.Alive && w.memPending < mlp && w.readyAt <= cycle
+}
+
+// CTASlotInfo describes one CTA slot of an SM.
+type CTASlotInfo struct {
+	Resident  bool
+	Seq       int
+	FirstRN   int // first warp-register number of the CTA's allocation
+	RegCount  int // warp-registers allocated
+	WarpsLive int
+}
+
+// lsuOp is one line request waiting for the load/store unit. The address
+// context is captured at issue so a draining store cannot be corrupted by
+// the warp slot being recycled.
+type lsuOp struct {
+	warp    *Warp
+	loadIdx int
+	req     int
+	isStore bool
+	ctx     workload.Ctx
+}
+
+// SMStats counts per-SM pipeline and memory events.
+type SMStats struct {
+	Retired     int64
+	IssueIdle   int64    // cycles a scheduler found no ready warp
+	LoadReqs    [5]int64 // indexed by Outcome
+	StoreReqs   int64
+	CTALaunches int64
+	CTADone     int64
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id     int
+	cfg    *config.Config
+	kernel *workload.Kernel
+
+	l1 *cache.Cache
+	rf *regfile.RegFile
+
+	warps []Warp
+	ctas  []CTASlotInfo
+
+	maxResidentCTAs int
+	warpsPerCTA     int
+
+	// GTO scheduler state: the last warp each scheduler issued from.
+	lastIssued []int
+
+	lsu      []lsuOp
+	lsuWidth int
+	waiters  map[memtypes.LineAddr][]*Warp
+	outbox   []*memtypes.Request
+
+	pol SMPolicy
+
+	// Probe, when non-nil, observes every load and store line-request
+	// (used by the Figure 2/3 working-set probes and the trace recorder).
+	Probe func(warpSlot int, pc uint32, line memtypes.LineAddr, isStore bool, cycle int64)
+
+	Stats SMStats
+}
+
+// lsuWidthDefault is the number of line requests the LSU retires per cycle.
+const lsuWidthDefault = 2
+
+// storeIssueLatency is the pipeline cost of issuing a store (the warp does
+// not wait for completion).
+const storeIssueLatency = 2
+
+// loadIssueLatency is the pipeline cost of issuing a load; completion is
+// tracked through the warp's outstanding-request count instead of blocking.
+const loadIssueLatency = 2
+
+// fillWakeLatency is the register writeback delay after a fill arrives.
+const fillWakeLatency = 4
+
+// newSM builds an SM for the kernel.
+func newSM(id int, cfg *config.Config, k *workload.Kernel) *SM {
+	g := &cfg.GPU
+	sm := &SM{
+		id:          id,
+		cfg:         cfg,
+		kernel:      k,
+		l1:          cache.New(g.L1Bytes, g.L1Ways, g.L1MSHRs, false),
+		rf:          regfile.New(g),
+		warpsPerCTA: k.WarpsPerCTA,
+		lastIssued:  make([]int, g.NumSchedulers),
+		lsuWidth:    lsuWidthDefault,
+		waiters:     make(map[memtypes.LineAddr][]*Warp),
+	}
+	for i := range sm.lastIssued {
+		sm.lastIssued[i] = -1
+	}
+	sm.maxResidentCTAs = MaxResidentCTAs(g, k)
+	sm.warps = make([]Warp, sm.maxResidentCTAs*k.WarpsPerCTA)
+	sm.ctas = make([]CTASlotInfo, sm.maxResidentCTAs)
+	return sm
+}
+
+// MaxResidentCTAs returns how many CTAs of the kernel fit on one SM given
+// the Table 1 residency limits (warps, threads, CTA slots, register file).
+func MaxResidentCTAs(g *config.GPU, k *workload.Kernel) int {
+	byWarps := g.MaxWarpsPerSM / k.WarpsPerCTA
+	byThreads := g.MaxThreadsPerSM / (k.WarpsPerCTA * g.SIMDWidth)
+	byRegs := g.WarpRegisters() / k.RegsPerCTA()
+	n := byWarps
+	if byThreads < n {
+		n = byThreads
+	}
+	if byRegs < n {
+		n = byRegs
+	}
+	if g.MaxCTAsPerSM < n {
+		n = g.MaxCTAsPerSM
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// --- accessors used by policies ---
+
+// ID returns the SM index.
+func (sm *SM) ID() int { return sm.id }
+
+// L1 returns the SM's data cache.
+func (sm *SM) L1() *cache.Cache { return sm.l1 }
+
+// RF returns the SM's register file.
+func (sm *SM) RF() *regfile.RegFile { return sm.rf }
+
+// Kernel returns the running kernel.
+func (sm *SM) Kernel() *workload.Kernel { return sm.kernel }
+
+// Config returns the run configuration.
+func (sm *SM) Config() *config.Config { return sm.cfg }
+
+// MaxResident returns the CTA residency limit for this kernel.
+func (sm *SM) MaxResident() int { return sm.maxResidentCTAs }
+
+// CTA returns the slot info (copy).
+func (sm *SM) CTA(slot int) CTASlotInfo { return sm.ctas[slot] }
+
+// ResidentCTAs counts resident CTAs.
+func (sm *SM) ResidentCTAs() int {
+	n := 0
+	for i := range sm.ctas {
+		if sm.ctas[i].Resident {
+			n++
+		}
+	}
+	return n
+}
+
+// Retired returns cumulative retired warp instructions.
+func (sm *SM) Retired() int64 { return sm.Stats.Retired }
+
+// FreeSlot returns a free CTA slot index, or -1.
+func (sm *SM) FreeSlot() int {
+	for i := range sm.ctas {
+		if !sm.ctas[i].Resident {
+			return i
+		}
+	}
+	return -1
+}
+
+// SendRegTraffic emits one register backup (write) or restore (read) line
+// request directly to off-chip memory. rn identifies the register; the
+// paper maps it to a dedicated backup region (here one line per register at
+// a reserved address range). The request is returned so the policy can
+// match the completion in OnRegResponse.
+func (sm *SM) SendRegTraffic(kind memtypes.Kind, rn int, cycle int64) *memtypes.Request {
+	if kind != memtypes.RegBackup && kind != memtypes.RegRestore {
+		panic(fmt.Sprintf("sim: SendRegTraffic kind %v", kind))
+	}
+	const backupRegion = uint64(1) << 60
+	line := memtypes.LineAddr(backupRegion + uint64(sm.id)<<20 + uint64(rn)*memtypes.LineSize)
+	req := &memtypes.Request{Line: line, Kind: kind, SM: sm.id, WarpID: -1, IssueCycle: cycle, Meta: rn}
+	sm.outbox = append(sm.outbox, req)
+	return req
+}
+
+// ReleaseCTARegs frees the register allocation of a still-resident CTA
+// whose architectural state has been backed up off-chip (Linebacker's C=1
+// point). The slot stays resident; its FRN becomes meaningless until
+// ReserveCTARegs.
+func (sm *SM) ReleaseCTARegs(slot int) {
+	if !sm.ctas[slot].Resident {
+		panic(fmt.Sprintf("sim: ReleaseCTARegs on empty slot %d", slot))
+	}
+	sm.rf.Free(slot)
+	sm.ctas[slot].FirstRN = -1
+}
+
+// ReserveCTARegs re-allocates register space for an inactive CTA about to
+// be restored, updating the slot's FRN.
+func (sm *SM) ReserveCTARegs(slot, count int) (first int, ok bool) {
+	if !sm.ctas[slot].Resident {
+		panic(fmt.Sprintf("sim: ReserveCTARegs on empty slot %d", slot))
+	}
+	first, ok = sm.rf.Alloc(slot, count)
+	if ok {
+		sm.ctas[slot].FirstRN = first
+	}
+	return first, ok
+}
+
+// --- CTA lifecycle ---
+
+// launchCTA places grid CTA seq into a free slot; returns false when no
+// slot or registers are available.
+func (sm *SM) launchCTA(seq int, cycle int64) bool {
+	slot := sm.FreeSlot()
+	if slot < 0 {
+		return false
+	}
+	first, ok := sm.rf.Alloc(slot, sm.kernel.RegsPerCTA())
+	if !ok {
+		return false
+	}
+	sm.ctas[slot] = CTASlotInfo{
+		Resident: true, Seq: seq,
+		FirstRN: first, RegCount: sm.kernel.RegsPerCTA(),
+		WarpsLive: sm.warpsPerCTA,
+	}
+	for i := 0; i < sm.warpsPerCTA; i++ {
+		w := &sm.warps[slot*sm.warpsPerCTA+i]
+		*w = Warp{Alive: true, CTASlot: slot, Idx: i, Seq: seq}
+	}
+	sm.Stats.CTALaunches++
+	sm.pol.OnCTALaunch(slot, seq, cycle)
+	return true
+}
+
+// completeCTA retires the CTA in the slot.
+func (sm *SM) completeCTA(slot int, cycle int64) {
+	sm.ctas[slot].Resident = false
+	sm.rf.Free(slot)
+	sm.Stats.CTADone++
+	sm.pol.OnCTAComplete(slot, cycle)
+}
+
+// Busy reports whether any CTA is resident or memory work is in flight.
+func (sm *SM) Busy() bool {
+	for i := range sm.ctas {
+		if sm.ctas[i].Resident {
+			return true
+		}
+	}
+	return len(sm.lsu) > 0 || len(sm.waiters) > 0
+}
+
+// --- per-cycle pipeline ---
+
+// tick advances the SM one cycle: schedulers issue, the LSU retires line
+// requests, and the policy runs.
+func (sm *SM) tick(cycle int64) {
+	sm.issue(cycle)
+	sm.runLSU(cycle)
+	sm.pol.OnCycle(cycle)
+}
+
+// issue runs the GTO warp schedulers.
+func (sm *SM) issue(cycle int64) {
+	ns := sm.cfg.GPU.NumSchedulers
+	for s := 0; s < ns; s++ {
+		w := sm.pickWarp(s, cycle)
+		if w < 0 {
+			sm.Stats.IssueIdle++
+			continue
+		}
+		sm.lastIssued[s] = w
+		sm.execute(&sm.warps[w], cycle)
+	}
+}
+
+// pickWarp implements greedy-then-oldest among the scheduler's warps.
+func (sm *SM) pickWarp(sched int, cycle int64) int {
+	ns := sm.cfg.GPU.NumSchedulers
+	mlp := sm.cfg.GPU.MaxWarpMLP
+	// Greedy: stick with the last issued warp while it remains ready.
+	if last := sm.lastIssued[sched]; last >= 0 {
+		w := &sm.warps[last]
+		if w.ready(cycle, mlp) && sm.pol.CTAActive(w.CTASlot) && sm.pol.WarpActive(last) {
+			return last
+		}
+	}
+	// Oldest: smallest (CTA seq, warp idx) among ready warps.
+	best := -1
+	for i := sched; i < len(sm.warps); i += ns {
+		w := &sm.warps[i]
+		if !w.ready(cycle, mlp) || !sm.pol.CTAActive(w.CTASlot) || !sm.pol.WarpActive(i) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := &sm.warps[best]
+		if w.Seq < b.Seq || (w.Seq == b.Seq && w.Idx < b.Idx) {
+			best = i
+		}
+	}
+	return best
+}
+
+// execute issues the warp's next instruction.
+func (sm *SM) execute(w *Warp, cycle int64) {
+	ins := &sm.kernel.Body[w.pcIdx]
+	sm.Stats.Retired++
+	// Operand collector traffic: ~3 register accesses per instruction.
+	base := sm.ctas[w.CTASlot].FirstRN + w.Idx*sm.kernel.RegsPerWarp()
+	opReg := base + (w.pcIdx*3)%maxi(sm.kernel.RegsPerWarp()-2, 1)
+	sm.rf.AccessOperands(opReg, 3, cycle)
+
+	switch ins.Op {
+	case workload.Compute:
+		w.readyAt = cycle + int64(ins.Latency)
+	case workload.LoadOp:
+		l := &sm.kernel.Loads[ins.LoadIdx]
+		if !l.ActiveAt(w.iter) {
+			w.readyAt = cycle + 1 // predicated off this iteration
+			break
+		}
+		w.readyAt = cycle + loadIssueLatency
+		w.memPending += l.Coalesced
+		for r := 0; r < l.Coalesced; r++ {
+			sm.lsu = append(sm.lsu, lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, ctx: sm.ctx(w)})
+		}
+	case workload.StoreOp:
+		l := &sm.kernel.Loads[ins.LoadIdx]
+		if !l.ActiveAt(w.iter) {
+			w.readyAt = cycle + 1
+			break
+		}
+		w.readyAt = cycle + storeIssueLatency
+		for r := 0; r < l.Coalesced; r++ {
+			sm.lsu = append(sm.lsu, lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, isStore: true, ctx: sm.ctx(w)})
+		}
+	}
+	sm.advance(w, cycle)
+}
+
+// advance moves the warp past the issued instruction, retiring the warp and
+// possibly its CTA at the end of the last iteration.
+func (sm *SM) advance(w *Warp, cycle int64) {
+	w.pcIdx++
+	if w.pcIdx < len(sm.kernel.Body) {
+		return
+	}
+	w.pcIdx = 0
+	w.iter++
+	if w.iter < sm.kernel.Iterations {
+		return
+	}
+	w.Alive = false
+	if w.memPending == 0 {
+		sm.retireWarp(w, cycle)
+	}
+	// Otherwise finishLoad retires the warp when its last request lands.
+}
+
+// retireWarp finalises a finished warp and completes its CTA when it is the
+// last one standing.
+func (sm *SM) retireWarp(w *Warp, cycle int64) {
+	if w.retired {
+		return
+	}
+	w.retired = true
+	slot := w.CTASlot
+	sm.ctas[slot].WarpsLive--
+	if sm.ctas[slot].WarpsLive == 0 {
+		sm.completeCTA(slot, cycle)
+	}
+}
+
+// runLSU retires up to lsuWidth line requests.
+func (sm *SM) runLSU(cycle int64) {
+	for n := 0; n < sm.lsuWidth && len(sm.lsu) > 0; n++ {
+		op := sm.lsu[0]
+		if !sm.processOp(op, cycle) {
+			return // head-of-line stall (MSHR full); retry next cycle
+		}
+		sm.lsu = sm.lsu[1:]
+	}
+	if len(sm.lsu) == 0 {
+		sm.lsu = nil // let the backing array be reclaimed
+	}
+}
+
+// ctx builds the address-generation context for a warp.
+func (sm *SM) ctx(w *Warp) workload.Ctx {
+	return workload.Ctx{SM: sm.id, CTASeq: w.Seq, Warp: w.Idx, Iter: w.iter}
+}
+
+// processOp services one line request; false means stall (retry).
+func (sm *SM) processOp(op lsuOp, cycle int64) bool {
+	w := op.warp
+	l := &sm.kernel.Loads[op.loadIdx]
+	line := sm.kernel.Address(op.loadIdx, op.ctx, op.req)
+
+	if op.isStore {
+		sm.Stats.StoreReqs++
+		if sm.Probe != nil {
+			sm.Probe(warpIndex(sm, w), l.PC, line, true, cycle)
+		}
+		sm.pol.OnStore(line, cycle)
+		sm.l1.Store(line)
+		sm.outbox = append(sm.outbox, &memtypes.Request{
+			Line: line, Kind: memtypes.Store, SM: sm.id, WarpID: warpIndex(sm, w), PC: l.PC, IssueCycle: cycle,
+		})
+		return true
+	}
+
+	// Structural stall check first so a retried request has no side
+	// effects (probes, monitors, energy counters fire exactly once).
+	if !sm.l1.Probe(line) && !sm.l1.HasOutstanding(line) && !sm.l1.MSHRFree() {
+		sm.l1.Stats.MSHRStalls++
+		return false
+	}
+	if sm.Probe != nil {
+		sm.Probe(warpIndex(sm, w), l.PC, line, false, cycle)
+	}
+	hpc := memtypes.HashPC(l.PC, sm.cfg.LB.HPCBits)
+	extra := sm.pol.ExtraL1Latency(line, cycle)
+
+	// Fast path: resident line.
+	if sm.l1.Probe(line) {
+		sm.l1.Load(line, hpc, true)
+		sm.finishLoad(w, cycle, int64(sm.cfg.GPU.L1HitLatency+extra))
+		sm.Stats.LoadReqs[OutHit]++
+		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, OutHit, cycle)
+		return true
+	}
+	// Victim cache probe before going below. A miss reports its serial
+	// tag-search cost, which delays the downstream fetch's completion.
+	vhit, vlat := sm.pol.ProbeVictim(line, l.PC, cycle)
+	if vhit {
+		sm.finishLoad(w, cycle, int64(sm.cfg.GPU.L1HitLatency+extra+vlat))
+		sm.Stats.LoadReqs[OutRegHit]++
+		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, OutRegHit, cycle)
+		return true
+	}
+	allocate := sm.pol.AllocateL1(warpIndex(sm, w), l.PC)
+	res, ev, evicted := sm.l1.Load(line, hpc, allocate)
+	if evicted {
+		sm.pol.OnEviction(ev, cycle)
+	}
+	switch res {
+	case cache.Stall:
+		// Unreachable: the structural check above covers MSHR exhaustion.
+		return false
+	case cache.HitPending:
+		sm.waiters[line] = append(sm.waiters[line], w)
+		sm.Stats.LoadReqs[OutPendingHit]++
+		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, OutPendingHit, cycle)
+	case cache.Miss, cache.MissNoAlloc:
+		out := OutMiss
+		if res == cache.MissNoAlloc {
+			out = OutBypass
+		}
+		sm.waiters[line] = append(sm.waiters[line], w)
+		sm.outbox = append(sm.outbox, &memtypes.Request{
+			Line: line, Kind: memtypes.Load, SM: sm.id, WarpID: warpIndex(sm, w), PC: l.PC,
+			IssueCycle: cycle, ExtraLatency: vlat,
+		})
+		sm.Stats.LoadReqs[out]++
+		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, out, cycle)
+	case cache.Hit:
+		// Race between Probe and Load cannot happen single-threaded, but
+		// keep the path correct.
+		sm.finishLoad(w, cycle, int64(sm.cfg.GPU.L1HitLatency+extra))
+		sm.Stats.LoadReqs[OutHit]++
+		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, OutHit, cycle)
+	}
+	return true
+}
+
+// finishLoad resolves one of the warp's outstanding line requests after the
+// given latency.
+func (sm *SM) finishLoad(w *Warp, cycle, latency int64) {
+	if w.memPending > 0 {
+		w.memPending--
+	}
+	// The load's value becomes available `latency` cycles out; consumers
+	// are modelled through the MLP limit rather than a hard block, so the
+	// warp's readyAt is only pushed when it was already waiting at the
+	// limit (scoreboard full).
+	if w.memPending >= sm.cfg.GPU.MaxWarpMLP-1 {
+		if t := cycle + latency; t > w.readyAt {
+			w.readyAt = t
+		}
+	}
+	if !w.Alive && w.memPending == 0 {
+		sm.retireWarp(w, cycle)
+	}
+}
+
+// handleResponse completes a request that returned from the memory system.
+func (sm *SM) handleResponse(req *memtypes.Request, cycle int64) {
+	switch req.Kind {
+	case memtypes.Load:
+		sm.l1.Fill(req.Line)
+		ws := sm.waiters[req.Line]
+		delete(sm.waiters, req.Line)
+		for _, w := range ws {
+			sm.finishLoad(w, cycle, fillWakeLatency+int64(req.ExtraLatency))
+		}
+	case memtypes.RegBackup, memtypes.RegRestore:
+		sm.pol.OnRegResponse(req, cycle)
+	}
+}
+
+// drainOutbox hands queued downstream requests to the caller.
+func (sm *SM) drainOutbox() []*memtypes.Request {
+	out := sm.outbox
+	sm.outbox = nil
+	return out
+}
+
+func warpIndex(sm *SM, w *Warp) int {
+	return w.CTASlot*sm.warpsPerCTA + w.Idx
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+// Package stats provides measurement utilities shared by the experiment
+// harness: geometric means, and the per-load working-set / streaming-size
+// probes behind Figures 2 and 3.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// GeoMean returns the geometric mean of positive values; zero/negative
+// values are skipped. It returns 0 for an empty input.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LoadStats summarises one static load's behaviour averaged over complete
+// monitoring windows (Figures 2 and 3).
+type LoadStats struct {
+	PC uint32
+	// AvgAccesses is the mean line-requests per window.
+	AvgAccesses float64
+	// AvgReusedBytes is the mean per-window footprint of lines touched at
+	// least twice within the window (Figure 2's reused working set).
+	AvgReusedBytes float64
+	// AvgUniqueBytes is the mean per-window footprint of all touched lines.
+	AvgUniqueBytes float64
+	// ReaccessRatio is re-accesses / accesses: a load with a ratio below
+	// 0.05 misses >95 % with an infinite cache — the paper's definition of
+	// a streaming load (Figure 3).
+	ReaccessRatio float64
+}
+
+// Streaming reports whether the load meets the paper's streaming test.
+func (l *LoadStats) Streaming() bool { return l.ReaccessRatio < 0.05 }
+
+// LoadProbe watches every load line-request of one SM and aggregates
+// per-load, per-window reuse statistics. Attach its Observe method to
+// sim.SM.Probe.
+type LoadProbe struct {
+	window int64
+
+	cur       map[uint32]map[memtypes.LineAddr]int32
+	winStart  int64
+	completed int
+
+	sums map[uint32]*probeSums
+}
+
+type probeSums struct {
+	accesses    float64
+	reusedBytes float64
+	uniqueBytes float64
+	reaccesses  float64
+	windows     int
+}
+
+// NewLoadProbe builds a probe with the given window length in cycles.
+func NewLoadProbe(windowCycles int64) *LoadProbe {
+	return &LoadProbe{
+		window: windowCycles,
+		cur:    map[uint32]map[memtypes.LineAddr]int32{},
+		sums:   map[uint32]*probeSums{},
+	}
+}
+
+// Observe records one load line-request; call it from sim.SM.Probe.
+func (p *LoadProbe) Observe(pc uint32, line memtypes.LineAddr, cycle int64) {
+	if cycle-p.winStart >= p.window {
+		p.rollover()
+		p.winStart = cycle - (cycle-p.winStart)%p.window
+	}
+	m := p.cur[pc]
+	if m == nil {
+		m = map[memtypes.LineAddr]int32{}
+		p.cur[pc] = m
+	}
+	m[line]++
+}
+
+// rollover closes the current window into the running sums.
+func (p *LoadProbe) rollover() {
+	for pc, lines := range p.cur {
+		s := p.sums[pc]
+		if s == nil {
+			s = &probeSums{}
+			p.sums[pc] = s
+		}
+		for _, n := range lines {
+			s.accesses += float64(n)
+			s.uniqueBytes += memtypes.LineSize
+			if n >= 2 {
+				s.reusedBytes += memtypes.LineSize
+				s.reaccesses += float64(n - 1)
+			}
+		}
+		s.windows++
+	}
+	p.completed++
+	p.cur = map[uint32]map[memtypes.LineAddr]int32{}
+}
+
+// Results returns per-load statistics over all completed windows, sorted by
+// AvgAccesses descending (so [0:4] are the paper's "top four frequently
+// executed loads").
+func (p *LoadProbe) Results() []LoadStats {
+	var out []LoadStats
+	for pc, s := range p.sums {
+		if s.windows == 0 || s.accesses == 0 {
+			continue
+		}
+		w := float64(s.windows)
+		out = append(out, LoadStats{
+			PC:             pc,
+			AvgAccesses:    s.accesses / w,
+			AvgReusedBytes: s.reusedBytes / w,
+			AvgUniqueBytes: s.uniqueBytes / w,
+			ReaccessRatio:  s.reaccesses / s.accesses,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AvgAccesses != out[j].AvgAccesses {
+			return out[i].AvgAccesses > out[j].AvgAccesses
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// CompletedWindows returns how many full windows rolled over.
+func (p *LoadProbe) CompletedWindows() int { return p.completed }
+
+// TopReusedWorkingSet returns the summed per-window reused footprint of the
+// top-n non-streaming loads (Figure 2's metric).
+func TopReusedWorkingSet(loads []LoadStats, n int) float64 {
+	total := 0.0
+	taken := 0
+	for _, l := range loads {
+		if l.Streaming() {
+			continue
+		}
+		total += l.AvgReusedBytes
+		taken++
+		if taken == n {
+			break
+		}
+	}
+	return total
+}
+
+// StreamingBytes returns the summed per-window unique footprint of all
+// streaming loads (Figure 3's metric).
+func StreamingBytes(loads []LoadStats) float64 {
+	total := 0.0
+	for _, l := range loads {
+		if l.Streaming() {
+			total += l.AvgUniqueBytes
+		}
+	}
+	return total
+}

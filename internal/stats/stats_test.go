@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	// Zero/negative values are skipped, not zeroing the result.
+	if got := GeoMean([]float64{0, 4}); got != 4 {
+		t.Fatalf("GeoMean(0,4) = %v", got)
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		var pos []float64
+		for _, x := range xs {
+			// Restrict to a sane magnitude range: at the extremes of the
+			// float64 domain exp(mean(log x)) loses the min/max envelope
+			// by more than the comparison tolerance.
+			if x > 1e-100 && x < 1e100 && !math.IsNaN(x) {
+				pos = append(pos, x)
+			}
+		}
+		for i, x := range xs {
+			if !(x > 1e-100 && x < 1e100) {
+				xs[i] = 0 // GeoMean skips non-positive entries
+			}
+		}
+		if len(pos) == 0 {
+			return GeoMean(xs) == 0
+		}
+		g := GeoMean(xs)
+		min, max := pos[0], pos[0]
+		for _, x := range pos {
+			min, max = math.Min(min, x), math.Max(max, x)
+		}
+		return g >= min*(1-1e-9) && g <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+}
+
+func line(n int) memtypes.LineAddr { return memtypes.LineAddr(n * memtypes.LineSize) }
+
+func TestLoadProbeReuseCounting(t *testing.T) {
+	p := NewLoadProbe(1000)
+	// Window 1: load 0x10 touches lines 0,1,0 (line 0 reused); load 0x20
+	// streams lines 10,11,12.
+	p.Observe(0x10, line(0), 10)
+	p.Observe(0x10, line(1), 20)
+	p.Observe(0x10, line(0), 30)
+	p.Observe(0x20, line(10), 40)
+	p.Observe(0x20, line(11), 50)
+	p.Observe(0x20, line(12), 60)
+	// Roll into window 2 (empty accesses close window 1).
+	p.Observe(0x10, line(5), 1500)
+	if p.CompletedWindows() != 1 {
+		t.Fatalf("windows = %d", p.CompletedWindows())
+	}
+	res := p.Results()
+	var hot, stream *LoadStats
+	for i := range res {
+		switch res[i].PC {
+		case 0x10:
+			hot = &res[i]
+		case 0x20:
+			stream = &res[i]
+		}
+	}
+	if hot == nil || stream == nil {
+		t.Fatalf("missing loads in %+v", res)
+	}
+	if hot.AvgReusedBytes != memtypes.LineSize {
+		t.Fatalf("hot reused = %v, want one line", hot.AvgReusedBytes)
+	}
+	if hot.Streaming() {
+		t.Fatal("hot load classified streaming (reaccess 1/3)")
+	}
+	if stream.AvgReusedBytes != 0 || !stream.Streaming() {
+		t.Fatalf("stream stats = %+v", stream)
+	}
+	if stream.AvgUniqueBytes != 3*memtypes.LineSize {
+		t.Fatalf("stream unique = %v", stream.AvgUniqueBytes)
+	}
+}
+
+func TestLoadProbeTopOrdering(t *testing.T) {
+	p := NewLoadProbe(100)
+	for i := 0; i < 10; i++ {
+		p.Observe(1, line(i%2), int64(i))
+	}
+	p.Observe(2, line(50), 1)
+	p.Observe(1, line(0), 150) // roll over
+	res := p.Results()
+	if len(res) != 2 || res[0].PC != 1 {
+		t.Fatalf("ordering: %+v", res)
+	}
+}
+
+func TestTopReusedWorkingSetSkipsStreams(t *testing.T) {
+	loads := []LoadStats{
+		{PC: 1, AvgAccesses: 100, AvgReusedBytes: 1000, ReaccessRatio: 0.5},
+		{PC: 2, AvgAccesses: 90, AvgReusedBytes: 900, ReaccessRatio: 0.01}, // streaming
+		{PC: 3, AvgAccesses: 80, AvgReusedBytes: 800, ReaccessRatio: 0.4},
+	}
+	if got := TopReusedWorkingSet(loads, 4); got != 1800 {
+		t.Fatalf("TopReusedWorkingSet = %v, want 1800 (streaming excluded)", got)
+	}
+	if got := TopReusedWorkingSet(loads, 1); got != 1000 {
+		t.Fatalf("top-1 = %v", got)
+	}
+	if got := StreamingBytes(loads); got != 0 {
+		// load 2 has no AvgUniqueBytes set
+		t.Fatalf("StreamingBytes = %v", got)
+	}
+	loads[1].AvgUniqueBytes = 5000
+	if got := StreamingBytes(loads); got != 5000 {
+		t.Fatalf("StreamingBytes = %v", got)
+	}
+}

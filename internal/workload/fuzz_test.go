@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+// FuzzParseKernelJSON checks that arbitrary input never panics the parser
+// and that anything it accepts is a valid, addressable kernel.
+func FuzzParseKernelJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"x","loads":[{"pattern":"streaming","scope":"per-warp"}],` +
+		`"compute_per_load":1,"compute_latency":1,"iterations":10,` +
+		`"warps_per_cta":2,"regs_per_thread":4,"grid_ctas":4}`))
+	f.Add([]byte(`{"name":"y","loads":[{"pattern":"tiled","scope":"per-sm","working_set_bytes":4096}],` +
+		`"compute_per_load":0,"compute_latency":0,"iterations":1,` +
+		`"warps_per_cta":1,"regs_per_thread":1,"grid_ctas":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := ParseKernelJSON(data)
+		if err != nil {
+			return
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("accepted kernel fails validation: %v", err)
+		}
+		// Address generation must be total on accepted kernels.
+		for li := range k.Loads {
+			for iter := 0; iter < 3; iter++ {
+				_ = k.Address(li, Ctx{SM: 1, CTASeq: 2, Warp: 0, Iter: iter}, 0)
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// TestPerWarpFootprintHeterogeneity verifies the documented [0.5, 1.75]
+// spread of per-warp working sets and that the doubled region stride keeps
+// neighbouring warps disjoint even at the maximum factor.
+func TestPerWarpFootprintHeterogeneity(t *testing.T) {
+	k := NewKernel("het",
+		[]LoadSpec{{Pattern: Tiled, Scope: PerWarp, WorkingSetBytes: 8 * 1024, Coalesced: 1}},
+		nil, 1, 4, 100, 8, 16, 64)
+	nominal := 8 * 1024 / memtypes.LineSize
+
+	sizes := map[int]bool{}
+	for cta := 0; cta < 4; cta++ {
+		for warp := 0; warp < 8; warp++ {
+			lines := map[memtypes.LineAddr]bool{}
+			for iter := 0; iter < 4*nominal; iter++ {
+				lines[k.Address(0, Ctx{SM: 0, CTASeq: cta, Warp: warp, Iter: iter}, 0)] = true
+			}
+			n := len(lines)
+			lo, hi := nominal/2, nominal*7/4
+			if n < lo || n > hi {
+				t.Fatalf("warp (%d,%d) footprint %d lines outside [%d,%d]", cta, warp, n, lo, hi)
+			}
+			sizes[n] = true
+		}
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("footprints not heterogeneous: %v", sizes)
+	}
+}
+
+func TestPerWarpRegionsDisjointAtMaxFactor(t *testing.T) {
+	k := NewKernel("het2",
+		[]LoadSpec{{Pattern: Irregular, Scope: PerWarp, WorkingSetBytes: 4 * 1024, Coalesced: 1}},
+		nil, 1, 4, 100, 4, 16, 64)
+	owner := map[memtypes.LineAddr]uint64{}
+	for cta := 0; cta < 8; cta++ {
+		for warp := 0; warp < 4; warp++ {
+			gw := uint64(cta*4 + warp)
+			for iter := 0; iter < 500; iter++ {
+				a := k.Address(0, Ctx{SM: 0, CTASeq: cta, Warp: warp, Iter: iter}, 0)
+				if prev, ok := owner[a]; ok && prev != gw {
+					t.Fatalf("line %#x shared by warps %d and %d", a, prev, gw)
+				}
+				owner[a] = gw
+			}
+		}
+	}
+}
+
+func TestSharedScopesUnaffectedByHeterogeneity(t *testing.T) {
+	k := NewKernel("het3",
+		[]LoadSpec{{Pattern: Tiled, Scope: PerSM, WorkingSetBytes: 4 * 1024, Coalesced: 1}},
+		nil, 1, 4, 100, 4, 16, 64)
+	lines := map[memtypes.LineAddr]bool{}
+	for iter := 0; iter < 500; iter++ {
+		lines[k.Address(0, Ctx{SM: 1, CTASeq: 0, Warp: 0, Iter: iter}, 0)] = true
+	}
+	if want := 4 * 1024 / memtypes.LineSize; len(lines) != want {
+		t.Fatalf("PerSM footprint %d lines, want exactly %d", len(lines), want)
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// kernelJSON is the on-disk kernel description consumed by ParseKernelJSON
+// (and produced by KernelJSON). Sizes are bytes, like the Go API.
+type kernelJSON struct {
+	Name           string     `json:"name"`
+	Loads          []loadJSON `json:"loads"`
+	Stores         []loadJSON `json:"stores,omitempty"`
+	ComputePerLoad int        `json:"compute_per_load"`
+	ComputeLatency int        `json:"compute_latency"`
+	Iterations     int        `json:"iterations"`
+	WarpsPerCTA    int        `json:"warps_per_cta"`
+	RegsPerThread  int        `json:"regs_per_thread"`
+	GridCTAs       int        `json:"grid_ctas"`
+}
+
+type loadJSON struct {
+	Pattern         string `json:"pattern"` // streaming | tiled | irregular
+	Scope           string `json:"scope"`   // global | per-sm | per-cta | per-warp
+	WorkingSetBytes int    `json:"working_set_bytes,omitempty"`
+	Coalesced       int    `json:"coalesced,omitempty"` // default 1
+	Phase           int    `json:"phase,omitempty"`
+	Every           int    `json:"every,omitempty"`
+}
+
+// ParseKernelJSON builds a kernel from its JSON description. The result is
+// validated; all errors name the offending field.
+func ParseKernelJSON(data []byte) (*Kernel, error) {
+	var kj kernelJSON
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&kj); err != nil {
+		return nil, fmt.Errorf("workload: parsing kernel JSON: %w", err)
+	}
+	if kj.Name == "" {
+		return nil, fmt.Errorf("workload: kernel JSON missing name")
+	}
+	loads, err := parseLoads(kj.Loads)
+	if err != nil {
+		return nil, fmt.Errorf("workload: kernel %q loads: %w", kj.Name, err)
+	}
+	stores, err := parseLoads(kj.Stores)
+	if err != nil {
+		return nil, fmt.Errorf("workload: kernel %q stores: %w", kj.Name, err)
+	}
+	k := NewKernelChecked(kj.Name, loads, stores, kj.ComputePerLoad, kj.ComputeLatency,
+		kj.Iterations, kj.WarpsPerCTA, kj.RegsPerThread, kj.GridCTAs)
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// KernelJSON serialises a kernel's declarative description (the body is
+// regenerated on parse, so only the NewKernel inputs are stored). Kernels
+// with hand-built bodies cannot be serialised faithfully and are rejected.
+func KernelJSON(k *Kernel, computePerLoad, computeLatency int) ([]byte, error) {
+	kj := kernelJSON{
+		Name:           k.Name,
+		ComputePerLoad: computePerLoad,
+		ComputeLatency: computeLatency,
+		Iterations:     k.Iterations,
+		WarpsPerCTA:    k.WarpsPerCTA,
+		RegsPerThread:  k.RegsPerThread,
+		GridCTAs:       k.GridCTAs,
+	}
+	for _, l := range k.Loads {
+		lj := loadJSON{
+			Pattern:         l.Pattern.String(),
+			Scope:           scopeJSONName(l.Scope),
+			WorkingSetBytes: l.WorkingSetBytes,
+			Coalesced:       l.Coalesced,
+			Phase:           l.Phase,
+			Every:           l.Every,
+		}
+		isStore := false
+		for _, ins := range k.Body {
+			if ins.PC == l.PC && ins.Op == StoreOp {
+				isStore = true
+			}
+		}
+		if isStore {
+			kj.Stores = append(kj.Stores, lj)
+		} else {
+			kj.Loads = append(kj.Loads, lj)
+		}
+	}
+	return json.MarshalIndent(&kj, "", "  ")
+}
+
+func parseLoads(ljs []loadJSON) ([]LoadSpec, error) {
+	var out []LoadSpec
+	for i, lj := range ljs {
+		p, err := parsePattern(lj.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		s, err := parseScope(lj.Scope)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		coalesced := lj.Coalesced
+		if coalesced == 0 {
+			coalesced = 1
+		}
+		out = append(out, LoadSpec{
+			Pattern:         p,
+			Scope:           s,
+			WorkingSetBytes: lj.WorkingSetBytes,
+			Coalesced:       coalesced,
+			Phase:           lj.Phase,
+			Every:           lj.Every,
+		})
+	}
+	return out, nil
+}
+
+func parsePattern(s string) (Pattern, error) {
+	switch strings.ToLower(s) {
+	case "streaming":
+		return Streaming, nil
+	case "tiled":
+		return Tiled, nil
+	case "irregular":
+		return Irregular, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q (streaming|tiled|irregular)", s)
+	}
+}
+
+func parseScope(s string) (Scope, error) {
+	switch strings.ToLower(s) {
+	case "global", "":
+		return Global, nil
+	case "per-sm", "persm":
+		return PerSM, nil
+	case "per-cta", "percta":
+		return PerCTA, nil
+	case "per-warp", "perwarp":
+		return PerWarp, nil
+	default:
+		return 0, fmt.Errorf("unknown scope %q (global|per-sm|per-cta|per-warp)", s)
+	}
+}
+
+func scopeJSONName(s Scope) string { return strings.ToLower(s.String()) }
+
+// NewKernelChecked is NewKernel without the panic-on-invalid behaviour:
+// callers that assemble kernels from external input validate explicitly.
+func NewKernelChecked(name string, loads, stores []LoadSpec, computePerLoad, computeLatency, iterations, warpsPerCTA, regsPerThread, gridCTAs int) *Kernel {
+	k := &Kernel{
+		Name:          name,
+		Iterations:    iterations,
+		WarpsPerCTA:   warpsPerCTA,
+		RegsPerThread: regsPerThread,
+		GridCTAs:      gridCTAs,
+		Seed:          splitmix(uint64(len(name))*31 + uint64(iterations)),
+	}
+	pc := uint32(0x100)
+	addInstr := func(ins Instr) {
+		ins.PC = pc
+		pc += 4
+		k.Body = append(k.Body, ins)
+	}
+	for i := range loads {
+		l := loads[i]
+		l.PC = pc
+		k.Loads = append(k.Loads, l)
+		addInstr(Instr{Op: LoadOp, LoadIdx: len(k.Loads) - 1})
+		for c := 0; c < computePerLoad; c++ {
+			addInstr(Instr{Op: Compute, Latency: computeLatency})
+		}
+	}
+	for i := range stores {
+		s := stores[i]
+		s.PC = pc
+		k.Loads = append(k.Loads, s)
+		addInstr(Instr{Op: StoreOp, LoadIdx: len(k.Loads) - 1})
+	}
+	return k
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "solver",
+  "loads": [
+    {"pattern": "irregular", "scope": "per-sm", "working_set_bytes": 65536, "coalesced": 2},
+    {"pattern": "tiled", "scope": "per-warp", "working_set_bytes": 1024},
+    {"pattern": "streaming", "scope": "per-warp", "coalesced": 2, "every": 4}
+  ],
+  "stores": [
+    {"pattern": "streaming", "scope": "per-warp"}
+  ],
+  "compute_per_load": 2,
+  "compute_latency": 8,
+  "iterations": 2500,
+  "warps_per_cta": 8,
+  "regs_per_thread": 26,
+  "grid_ctas": 4096
+}`
+
+func TestParseKernelJSON(t *testing.T) {
+	k, err := ParseKernelJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "solver" || len(k.Loads) != 4 {
+		t.Fatalf("kernel = %+v", k)
+	}
+	if k.Loads[0].Pattern != Irregular || k.Loads[0].Scope != PerSM {
+		t.Fatalf("load 0 = %+v", k.Loads[0])
+	}
+	if k.Loads[1].Coalesced != 1 {
+		t.Fatal("coalesced default not applied")
+	}
+	if k.Loads[2].Every != 4 {
+		t.Fatal("every not parsed")
+	}
+	// Body: 3 loads * (1+2) + 1 store = 10 instructions.
+	if len(k.Body) != 10 {
+		t.Fatalf("body = %d instructions", len(k.Body))
+	}
+}
+
+func TestParseKernelJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":""}`,
+		`{"name":"x","unknown_field":1}`,
+		`{"name":"x","loads":[{"pattern":"bogus"}],"compute_per_load":1,"compute_latency":1,"iterations":1,"warps_per_cta":1,"regs_per_thread":1,"grid_ctas":1}`,
+		`{"name":"x","loads":[{"pattern":"tiled","scope":"bogus"}],"compute_per_load":1,"compute_latency":1,"iterations":1,"warps_per_cta":1,"regs_per_thread":1,"grid_ctas":1}`,
+		// Tiled load without a working set fails kernel validation.
+		`{"name":"x","loads":[{"pattern":"tiled","scope":"global"}],"compute_per_load":1,"compute_latency":1,"iterations":1,"warps_per_cta":1,"regs_per_thread":1,"grid_ctas":1}`,
+		// Missing shape parameters.
+		`{"name":"x","loads":[{"pattern":"streaming","scope":"per-warp"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ParseKernelJSON([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestKernelJSONRoundTrip(t *testing.T) {
+	k1, err := ParseKernelJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := KernelJSON(k1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ParseKernelJSON(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	if len(k2.Loads) != len(k1.Loads) || len(k2.Body) != len(k1.Body) {
+		t.Fatalf("round trip mismatch: %d/%d loads, %d/%d body",
+			len(k2.Loads), len(k1.Loads), len(k2.Body), len(k1.Body))
+	}
+	for i := range k1.Loads {
+		a, b := k1.Loads[i], k2.Loads[i]
+		if a.Pattern != b.Pattern || a.Scope != b.Scope ||
+			a.WorkingSetBytes != b.WorkingSetBytes || a.Coalesced != b.Coalesced ||
+			a.Phase != b.Phase || a.Every != b.Every {
+			t.Fatalf("load %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	// Addresses must be identical after the round trip.
+	c := Ctx{SM: 1, CTASeq: 2, Warp: 3, Iter: 17}
+	for li := range k1.Loads {
+		if k1.Address(li, c, 0) != k2.Address(li, c, 0) {
+			t.Fatalf("load %d addresses diverge after round trip", li)
+		}
+	}
+	if !strings.Contains(string(data), `"per-sm"`) {
+		t.Fatalf("scope names not serialised:\n%s", data)
+	}
+}

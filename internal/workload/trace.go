@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// TraceP is the replay pattern: addresses come from a recorded trace
+// attached to the kernel instead of a generator. Loads with this pattern
+// are built by Trace.Kernel.
+const TraceP Pattern = 250
+
+// Trace holds a per-warp, per-static-load memory trace for replay. The
+// text format is one event per line:
+//
+//	<warp> <pc> <L|S> <addr>
+//
+// with warp decimal, pc and addr hex (0x prefix optional), '#' comments and
+// blank lines ignored. Events of one warp must appear in program order;
+// warps may interleave arbitrarily.
+type Trace struct {
+	// pcs in order of first appearance; parallel to kinds.
+	pcs   []uint32
+	kinds []OpKind
+	// seqs[li][warp] is the ordered line-address sequence of static load li
+	// in trace warp `warp`.
+	seqs  [][][]memtypes.LineAddr
+	warps int
+}
+
+// ParseTrace reads the text trace format.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	pcIndex := map[uint32]int{}
+	warpSeen := map[int]bool{}
+	type key struct{ li, warp int }
+	seqs := map[key][]memtypes.LineAddr{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		warp, err := strconv.Atoi(fields[0])
+		if err != nil || warp < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad warp %q", lineNo, fields[0])
+		}
+		pc64, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad pc %q", lineNo, fields[1])
+		}
+		var kind OpKind
+		switch fields[2] {
+		case "L", "l":
+			kind = LoadOp
+		case "S", "s":
+			kind = StoreOp
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: bad kind %q (L|S)", lineNo, fields[2])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[3], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad addr %q", lineNo, fields[3])
+		}
+
+		pc := uint32(pc64)
+		li, ok := pcIndex[pc]
+		if !ok {
+			li = len(tr.pcs)
+			pcIndex[pc] = li
+			tr.pcs = append(tr.pcs, pc)
+			tr.kinds = append(tr.kinds, kind)
+		} else if tr.kinds[li] != kind {
+			return nil, fmt.Errorf("workload: trace line %d: pc %#x is both load and store", lineNo, pc)
+		}
+		warpSeen[warp] = true
+		k := key{li, warp}
+		seqs[k] = append(seqs[k], memtypes.Addr(addr).Line())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(tr.pcs) == 0 {
+		return nil, fmt.Errorf("workload: trace has no events")
+	}
+
+	// Compact warp ids to 0..n-1 in ascending order.
+	var warpIDs []int
+	for w := range warpSeen {
+		warpIDs = append(warpIDs, w)
+	}
+	sort.Ints(warpIDs)
+	warpMap := map[int]int{}
+	for i, w := range warpIDs {
+		warpMap[w] = i
+	}
+	tr.warps = len(warpIDs)
+	tr.seqs = make([][][]memtypes.LineAddr, len(tr.pcs))
+	for li := range tr.pcs {
+		tr.seqs[li] = make([][]memtypes.LineAddr, tr.warps)
+	}
+	for k, seq := range seqs {
+		tr.seqs[k.li][warpMap[k.warp]] = seq
+	}
+	return tr, nil
+}
+
+// Warps returns the number of distinct warps in the trace.
+func (t *Trace) Warps() int { return t.warps }
+
+// Loads returns the number of static memory instructions in the trace.
+func (t *Trace) Loads() int { return len(t.pcs) }
+
+// Events returns the total traced events.
+func (t *Trace) Events() int {
+	n := 0
+	for _, per := range t.seqs {
+		for _, s := range per {
+			n += len(s)
+		}
+	}
+	return n
+}
+
+// Kernel builds a replay kernel: each traced static load becomes a TraceP
+// load whose per-warp address sequence is replayed in order (wrapping when
+// a warp exhausts its sequence). Simulated warps map onto trace warps
+// round-robin. Iterations is sized so the longest per-warp sequence plays
+// at least once.
+func (t *Trace) Kernel(name string, computePerLoad, computeLatency, warpsPerCTA, regsPerThread, gridCTAs int) (*Kernel, error) {
+	iters := 1
+	for _, per := range t.seqs {
+		for _, s := range per {
+			if len(s) > iters {
+				iters = len(s)
+			}
+		}
+	}
+	var loads, stores []LoadSpec
+	for li := range t.pcs {
+		spec := LoadSpec{Pattern: TraceP, Coalesced: 1, WorkingSetBytes: memtypes.LineSize}
+		// Remember the trace slot in Phase (unused by TraceP otherwise).
+		spec.Phase = li
+		if t.kinds[li] == StoreOp {
+			stores = append(stores, spec)
+		} else {
+			loads = append(loads, spec)
+		}
+	}
+	k := NewKernelChecked(name, loads, stores, computePerLoad, computeLatency,
+		iters, warpsPerCTA, regsPerThread, gridCTAs)
+	k.trace = t
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// traceAddress resolves a TraceP access.
+func (k *Kernel) traceAddress(l *LoadSpec, c Ctx, req int) memtypes.LineAddr {
+	t := k.trace
+	li := l.Phase
+	w := int(k.globalWarp(c)) % t.warps
+	seq := t.seqs[li][w]
+	if len(seq) == 0 {
+		// This warp never executed the load in the trace; touch a private
+		// dummy line so the replay stays total.
+		return memtypes.LineAddr((uint64(li+1)<<loadRegionBits | 0x7f<<32) + k.globalWarp(c)*memtypes.LineSize)
+	}
+	idx := (c.Iter*l.Coalesced + req) % len(seq)
+	return seq[idx]
+}
+
+// TraceRecorder writes the replayable text trace format from a running
+// simulation: attach its Observe method to sim.SM.Probe.
+type TraceRecorder struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTraceRecorder wraps a writer.
+func NewTraceRecorder(w io.Writer) *TraceRecorder {
+	return &TraceRecorder{bw: bufio.NewWriter(w)}
+}
+
+// Observe records one line request (signature matches sim.SM.Probe up to
+// the warp-identity prefix; cycle is not stored — the format is
+// order-based).
+func (r *TraceRecorder) Observe(warpSlot int, pc uint32, line memtypes.LineAddr, isStore bool) {
+	if r.err != nil {
+		return
+	}
+	kind := "L"
+	if isStore {
+		kind = "S"
+	}
+	_, r.err = fmt.Fprintf(r.bw, "%d 0x%x %s 0x%x\n", warpSlot, pc, kind, uint64(line))
+}
+
+// Flush completes the trace and reports any write error.
+func (r *TraceRecorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.bw.Flush()
+}

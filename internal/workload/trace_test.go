@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+const sampleTrace = `# two warps, two loads and a store
+0 0x100 L 0x1000
+0 0x10c L 0x2000
+1 0x100 L 0x1080
+0 0x100 L 0x1000
+1 0x118 S 0x3000
+`
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Warps() != 2 || tr.Loads() != 3 {
+		t.Fatalf("warps=%d loads=%d", tr.Warps(), tr.Loads())
+	}
+	if tr.Events() != 5 {
+		t.Fatalf("events=%d", tr.Events())
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                             // empty
+		"0 0x100 L",                    // wrong arity
+		"x 0x100 L 0x0",                // bad warp
+		"0 zz L 0x0",                   // bad pc
+		"0 0x100 Q 0x0",                // bad kind
+		"0 0x100 L zz",                 // bad addr
+		"0 0x100 L 0x0\n0 0x100 S 0x0", // pc is both load and store
+	}
+	for i, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTraceReplayAddresses(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := tr.Kernel("replay", 1, 4, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load 0 (pc 0x100): warp 0 sequence is [0x1000, 0x1000], warp 1 is
+	// [0x1080]. Global warp 0 maps to trace warp 0.
+	c := Ctx{SM: 0, CTASeq: 0, Warp: 0, Iter: 0}
+	if got := k.Address(0, c, 0); got != memtypes.LineAddr(0x1000) {
+		t.Fatalf("warp0 iter0 = %#x", got)
+	}
+	c.Warp = 1
+	if got := k.Address(0, c, 0); got != memtypes.LineAddr(0x1080) {
+		t.Fatalf("warp1 iter0 = %#x", got)
+	}
+	// Wrapping: warp 1 has one event; iter 5 wraps to it.
+	c.Iter = 5
+	if got := k.Address(0, c, 0); got != memtypes.LineAddr(0x1080) {
+		t.Fatalf("warp1 wrap = %#x", got)
+	}
+	// Simulated warps beyond the trace reuse trace warps round-robin.
+	c = Ctx{CTASeq: 1, Warp: 0, Iter: 0} // global warp 2 -> trace warp 0
+	if got := k.Address(0, c, 0); got != memtypes.LineAddr(0x1000) {
+		t.Fatalf("round-robin mapping = %#x", got)
+	}
+}
+
+func TestTraceRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewTraceRecorder(&buf)
+	rec.Observe(0, 0x100, memtypes.Addr(0x1010).Line(), false)
+	rec.Observe(3, 0x10c, memtypes.Addr(0x2000).Line(), true)
+	rec.Observe(0, 0x100, memtypes.Addr(0x1080).Line(), false)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if tr.Warps() != 2 || tr.Loads() != 2 || tr.Events() != 3 {
+		t.Fatalf("round trip: %d warps %d loads %d events", tr.Warps(), tr.Loads(), tr.Events())
+	}
+	if _, err := tr.Kernel("rt", 1, 4, 4, 8, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceKernelValidation(t *testing.T) {
+	// A TraceP load without an attached trace must fail validation.
+	k := NewKernelChecked("bad",
+		[]LoadSpec{{Pattern: TraceP, Coalesced: 1, WorkingSetBytes: 128}},
+		nil, 1, 1, 1, 1, 1, 1)
+	if k.Validate() == nil {
+		t.Fatal("trace load without trace accepted")
+	}
+}

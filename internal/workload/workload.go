@@ -1,0 +1,327 @@
+// Package workload defines the synthetic kernels that stand in for the
+// paper's 20 CUDA benchmarks (Table 2).
+//
+// The paper characterises each application by the behaviour of its static
+// global loads (Section 2.3): a handful of loads each either stream (no
+// reuse) or repeatedly touch a bounded working set, at some scope (shared by
+// the whole GPU, one SM, one CTA, or private to a warp). This package
+// reproduces exactly those observable properties — per-load working-set
+// size, reuse scope, streaming volume, register usage, CTA shape — as
+// parameterised address generators, so the cache and victim-cache dynamics
+// the paper measures are exercised without CUDA binaries.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+)
+
+// Pattern is the reuse behaviour of one static load.
+type Pattern uint8
+
+const (
+	// Streaming data is touched once and never again (worst locality).
+	Streaming Pattern = iota
+	// Tiled data is swept cyclically through a bounded working set.
+	Tiled
+	// Irregular data is accessed pseudo-randomly within a bounded range.
+	Irregular
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Streaming:
+		return "streaming"
+	case Tiled:
+		return "tiled"
+	case Irregular:
+		return "irregular"
+	case TraceP:
+		return "trace"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// Scope is the sharing domain of a load's working set.
+type Scope uint8
+
+const (
+	// Global: every warp on every SM touches the same footprint.
+	Global Scope = iota
+	// PerSM: warps on one SM share a footprint; SMs are disjoint.
+	PerSM
+	// PerCTA: warps of one CTA share a footprint; CTAs are disjoint.
+	PerCTA
+	// PerWarp: every warp has a private footprint.
+	PerWarp
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case PerSM:
+		return "per-SM"
+	case PerCTA:
+		return "per-CTA"
+	case PerWarp:
+		return "per-warp"
+	default:
+		return fmt.Sprintf("Scope(%d)", uint8(s))
+	}
+}
+
+// LoadSpec describes one static global load (or store) instruction.
+type LoadSpec struct {
+	// PC is the static instruction address; assigned by NewKernel.
+	PC uint32
+	// Pattern and Scope select the address generator.
+	Pattern Pattern
+	Scope   Scope
+	// WorkingSetBytes is the reuse footprint within the scope (Tiled and
+	// Irregular). Ignored for Streaming.
+	WorkingSetBytes int
+	// Coalesced is the number of 128 B line requests one warp execution of
+	// this load produces (1 = fully coalesced ... 32 = fully divergent).
+	Coalesced int
+	// Phase staggers the sweep position of different warps through a Tiled
+	// working set (0 = all warps in lockstep).
+	Phase int
+	// Every issues the load only on iterations divisible by Every
+	// (0 or 1 = every iteration). Real kernels touch streaming inputs far
+	// less often than their hot reuse data; this models that rate.
+	Every int
+}
+
+// ActiveAt reports whether the load issues at the given iteration.
+func (l *LoadSpec) ActiveAt(iter int) bool {
+	return l.Every <= 1 || iter%l.Every == 0
+}
+
+// OpKind is the instruction type in a kernel body.
+type OpKind uint8
+
+const (
+	// Compute is a non-memory warp instruction with a fixed latency.
+	Compute OpKind = iota
+	// LoadOp issues the LoadSpec at Instr.LoadIdx.
+	LoadOp
+	// StoreOp issues the (store) LoadSpec at Instr.LoadIdx.
+	StoreOp
+)
+
+// Instr is one static instruction of the kernel body. A warp executes the
+// body once per iteration, in order; each instruction depends on the
+// previous one (latency is hidden by switching warps, as on real SMs).
+type Instr struct {
+	PC      uint32
+	Op      OpKind
+	Latency int // Compute only
+	LoadIdx int // LoadOp/StoreOp only, index into Kernel.Loads
+}
+
+// Kernel is one synthetic GPU kernel.
+type Kernel struct {
+	Name string
+	// Loads are the static memory instructions (loads and stores).
+	Loads []LoadSpec
+	// Body is the per-iteration instruction sequence.
+	Body []Instr
+	// Iterations is the per-warp loop trip count.
+	Iterations int
+	// WarpsPerCTA and RegsPerThread shape occupancy and register usage.
+	WarpsPerCTA   int
+	RegsPerThread int
+	// GridCTAs is the total number of CTAs in the grid.
+	GridCTAs int
+	// Seed perturbs the irregular-pattern generator per kernel.
+	Seed uint64
+
+	// trace backs TraceP loads (set by Trace.Kernel).
+	trace *Trace
+}
+
+// WithSeed returns a shallow copy of the kernel whose irregular-pattern
+// generator is perturbed by the given seed (for sensitivity studies across
+// synthetic-trace instances).
+func (k *Kernel) WithSeed(seed uint64) *Kernel {
+	c := *k
+	c.Seed = k.Seed ^ splitmix(seed)
+	return &c
+}
+
+// RegsPerWarp returns the number of 128 B warp-registers one warp uses.
+func (k *Kernel) RegsPerWarp() int { return k.RegsPerThread }
+
+// RegsPerCTA returns warp-registers used by one CTA.
+func (k *Kernel) RegsPerCTA() int { return k.WarpsPerCTA * k.RegsPerThread }
+
+// Validate reports the first inconsistency in the kernel description.
+func (k *Kernel) Validate() error {
+	if k.WarpsPerCTA <= 0 || k.RegsPerThread <= 0 || k.GridCTAs <= 0 || k.Iterations <= 0 {
+		return fmt.Errorf("workload %q: non-positive shape parameter", k.Name)
+	}
+	if len(k.Body) == 0 {
+		return fmt.Errorf("workload %q: empty body", k.Name)
+	}
+	for i, ins := range k.Body {
+		if ins.Op != Compute {
+			if ins.LoadIdx < 0 || ins.LoadIdx >= len(k.Loads) {
+				return fmt.Errorf("workload %q: body[%d] references load %d of %d", k.Name, i, ins.LoadIdx, len(k.Loads))
+			}
+		}
+	}
+	for i, l := range k.Loads {
+		if l.Coalesced < 1 || l.Coalesced > 32 {
+			return fmt.Errorf("workload %q: load %d coalesced %d out of [1,32]", k.Name, i, l.Coalesced)
+		}
+		if l.Pattern == TraceP {
+			if k.trace == nil {
+				return fmt.Errorf("workload %q: load %d replays a trace but none is attached", k.Name, i)
+			}
+			continue
+		}
+		if l.Pattern != Streaming && l.WorkingSetBytes < memtypes.LineSize {
+			return fmt.Errorf("workload %q: load %d working set %d below one line", k.Name, i, l.WorkingSetBytes)
+		}
+		if l.Every < 0 {
+			return fmt.Errorf("workload %q: load %d negative Every", k.Name, i)
+		}
+	}
+	return nil
+}
+
+// loadRegionBits is the log2 size of the disjoint address region given to
+// each static load (64 GB regions keep all patterns collision-free).
+const loadRegionBits = 36
+
+// Ctx identifies one dynamic execution of a load: which warp of which CTA
+// on which SM, at which loop iteration.
+type Ctx struct {
+	SM     int
+	CTASeq int // global CTA launch sequence number
+	Warp   int // warp index within the CTA
+	Iter   int
+}
+
+// globalWarp returns a grid-unique warp number.
+func (k *Kernel) globalWarp(c Ctx) uint64 {
+	return uint64(c.CTASeq)*uint64(k.WarpsPerCTA) + uint64(c.Warp)
+}
+
+// Address returns the line address of request req (0..Coalesced-1) of load
+// li in execution context c. Generation is pure and deterministic.
+func (k *Kernel) Address(li int, c Ctx, req int) memtypes.LineAddr {
+	l := &k.Loads[li]
+	base := uint64(li+1) << loadRegionBits
+	switch l.Pattern {
+	case TraceP:
+		return k.traceAddress(l, c, req)
+	case Streaming:
+		// Each warp streams through its own arithmetic sequence.
+		gw := k.globalWarp(c)
+		iter := uint64(c.Iter)
+		if l.Every > 1 {
+			iter /= uint64(l.Every)
+		}
+		line := gw*uint64(k.Iterations)*uint64(l.Coalesced) +
+			iter*uint64(l.Coalesced) + uint64(req)
+		return memtypes.LineAddr(base + line*memtypes.LineSize)
+	case Tiled:
+		lines := k.scopeLines(l, c)
+		pos := (uint64(c.Iter)*uint64(l.Coalesced) + uint64(req) +
+			uint64(l.Phase)*k.scopeWarp(l.Scope, c)) % lines
+		return memtypes.LineAddr(base + k.scopeBase(l.Scope, c, l.WorkingSetBytes) + pos*memtypes.LineSize)
+	case Irregular:
+		lines := k.scopeLines(l, c)
+		h := splitmix(k.Seed ^ uint64(li)<<40 ^ k.scopeID(l.Scope, c)<<20 ^
+			uint64(c.Iter)<<5 ^ uint64(req) ^ k.globalWarp(c)<<48)
+		return memtypes.LineAddr(base + k.scopeBase(l.Scope, c, l.WorkingSetBytes) + (h%lines)*memtypes.LineSize)
+	default:
+		panic("workload: unknown pattern")
+	}
+}
+
+// scopeBase returns the byte offset of the scope's private footprint region.
+// Per-warp regions are spaced at twice the nominal working set because of
+// the per-warp size heterogeneity below.
+func (k *Kernel) scopeBase(s Scope, c Ctx, ws int) uint64 {
+	stride := uint64(ws + memtypes.LineSize)
+	if s == PerWarp {
+		stride *= 2
+	}
+	return k.scopeID(s, c) * stride
+}
+
+// scopeLines returns the footprint in lines for the execution context. Real
+// kernels' per-thread working sets vary (row lengths, degree distributions),
+// which is what makes warp throttling respond smoothly; per-warp footprints
+// are therefore scaled by a deterministic factor in [0.5, 1.75] (mean ≈ 1.1)
+// keyed on the warp identity.
+func (k *Kernel) scopeLines(l *LoadSpec, c Ctx) uint64 {
+	lines := uint64(l.WorkingSetBytes / memtypes.LineSize)
+	if l.Scope == PerWarp {
+		gw := k.globalWarp(c)
+		lines = lines * (2 + gw%6) / 4
+	}
+	if lines == 0 {
+		lines = 1
+	}
+	return lines
+}
+
+// scopeID numbers the sharing domains of a scope.
+func (k *Kernel) scopeID(s Scope, c Ctx) uint64 {
+	switch s {
+	case Global:
+		return 0
+	case PerSM:
+		return uint64(c.SM) + 1
+	case PerCTA:
+		return uint64(c.CTASeq) + 1
+	case PerWarp:
+		return k.globalWarp(c) + 1
+	default:
+		panic("workload: unknown scope")
+	}
+}
+
+// scopeWarp returns the warp's index within the sharing domain, used to
+// phase-stagger tiled sweeps.
+func (k *Kernel) scopeWarp(s Scope, c Ctx) uint64 {
+	switch s {
+	case PerWarp:
+		return 0
+	case PerCTA:
+		return uint64(c.Warp)
+	default:
+		// Global/PerSM: stagger by position within the SM.
+		return uint64(c.Warp) + uint64(c.CTASeq%64)*uint64(k.WarpsPerCTA)
+	}
+}
+
+// splitmix is SplitMix64, a high-quality stateless mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewKernel assembles a kernel whose body interleaves each load with
+// computePerLoad compute instructions, ending with the given stores.
+// PCs are assigned sequentially (4 bytes apart, as on real ISAs).
+// It panics on an invalid description; external input should go through
+// ParseKernelJSON or NewKernelChecked + Validate instead.
+func NewKernel(name string, loads []LoadSpec, stores []LoadSpec, computePerLoad, computeLatency, iterations, warpsPerCTA, regsPerThread, gridCTAs int) *Kernel {
+	k := NewKernelChecked(name, loads, stores, computePerLoad, computeLatency,
+		iterations, warpsPerCTA, regsPerThread, gridCTAs)
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	return k
+}

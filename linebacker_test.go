@@ -1,0 +1,71 @@
+package linebacker
+
+import "testing"
+
+func TestNewSchemeSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"baseline", "swl:4", "pcal", "cerf", "cacheext",
+		"linebacker", "lb", "svc", "vc", "lb+cacheext", "pcal+svc", "pcal+cerf",
+	} {
+		if _, err := NewScheme(spec); err != nil {
+			t.Errorf("NewScheme(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"", "swl:", "swl:0", "swl:x", "nope"} {
+		if _, err := NewScheme(bad); err == nil {
+			t.Errorf("NewScheme(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	if len(Benchmarks()) != 20 {
+		t.Fatalf("benchmarks = %d, want 20", len(Benchmarks()))
+	}
+	if _, ok := Benchmark("S2"); !ok {
+		t.Fatal("S2 missing")
+	}
+}
+
+func TestRunQuickstartPath(t *testing.T) {
+	cfg := FastConfig()
+	cfg.GPU.NumSMs = 1
+	cfg.LB.WindowCycles = 2000
+	k := NewKernel("api-test",
+		[]LoadSpec{{Pattern: Tiled, Scope: PerSM, WorkingSetBytes: 8 * 1024, Coalesced: 1}},
+		nil, 2, 4, 200, 4, 16, 16)
+	base, err := Run(cfg, k, mustScheme(t, "baseline"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Instructions == 0 || base.IPC() <= 0 {
+		t.Fatalf("empty result: %+v", base)
+	}
+	lb, err := Run(cfg, k, mustScheme(t, "linebacker"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := Energy(&cfg, lb); e.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	if EnergyPerInstruction(&cfg, lb) <= 0 {
+		t.Fatal("non-positive energy per instruction")
+	}
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), FastConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustScheme(t *testing.T, spec string) Policy {
+	t.Helper()
+	p, err := NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
