@@ -14,30 +14,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/linebacker-sim/linebacker/internal/harness"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbfig:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flag parsing and output against
+// injectable streams, errors returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbfig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "", "experiment id (fig12, table2, ...)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids")
-		paper   = flag.Bool("paper", false, "use the full Table 1 scale (16 SMs, 50k-cycle windows) instead of the fast 4-SM configuration")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		md      = flag.Bool("md", false, "emit markdown")
-		svg     = flag.Bool("svg", false, "additionally render each experiment as an SVG chart")
-		outDir  = flag.String("out", "artifacts", "directory for -svg output")
-		windows = flag.Int("windows", 16, "run length in monitoring windows")
+		fig     = fs.String("fig", "", "experiment id (fig12, table2, ...)")
+		all     = fs.Bool("all", false, "run every experiment")
+		list    = fs.Bool("list", false, "list experiment ids")
+		paper   = fs.Bool("paper", false, "use the full Table 1 scale (16 SMs, 50k-cycle windows) instead of the fast 4-SM configuration")
+		csv     = fs.Bool("csv", false, "emit CSV")
+		md      = fs.Bool("md", false, "emit markdown")
+		svg     = fs.Bool("svg", false, "additionally render each experiment as an SVG chart")
+		outDir  = fs.String("out", "artifacts", "directory for -svg output")
+		windows = fs.Int("windows", 16, "run length in monitoring windows")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	cfg := harness.BenchConfig()
@@ -46,53 +60,54 @@ func main() {
 	}
 	r := harness.NewRunner(cfg, *windows)
 
-	emit := func(t *harness.Table) {
+	emit := func(t *harness.Table) error {
 		switch {
 		case *csv:
-			fmt.Print(t.CSV())
+			fmt.Fprint(stdout, t.CSV())
 		case *md:
-			fmt.Println(t.Markdown())
+			fmt.Fprintln(stdout, t.Markdown())
 		default:
-			t.Fprint(os.Stdout)
+			t.Fprint(stdout)
 		}
 		if *svg {
 			chart, err := t.Chart()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "lbfig: %s: %v (skipped)\n", t.ID, err)
-				return
+				fmt.Fprintf(stderr, "lbfig: %s: %v (skipped)\n", t.ID, err)
+				return nil
 			}
 			doc, err := chart.SVG()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "lbfig: %s: %v\n", t.ID, err)
-				return
+				fmt.Fprintf(stderr, "lbfig: %s: %v\n", t.ID, err)
+				return nil
 			}
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "lbfig:", err)
-				os.Exit(1)
+				return err
 			}
 			path := fmt.Sprintf("%s/%s.svg", *outDir, t.ID)
 			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "lbfig:", err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(stderr, "wrote %s\n", path)
 		}
+		return nil
 	}
 
 	switch {
 	case *all:
 		for _, e := range harness.Experiments() {
-			emit(e.Run(r))
+			if err := emit(e.Run(r)); err != nil {
+				return err
+			}
 		}
+		return nil
 	case *fig != "":
 		e, ok := harness.ExperimentByID(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lbfig: unknown experiment %q (use -list)\n", *fig)
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (use -list)", *fig)
 		}
-		emit(e.Run(r))
+		return emit(e.Run(r))
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("one of -fig, -all, -list required")
 	}
 }

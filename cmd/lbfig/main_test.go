@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig12") {
+		t.Errorf("-list output missing fig12:\n%s", out)
+	}
+}
+
+func TestOneExperiment(t *testing.T) {
+	out, err := runCLI(t, "-fig", "fig1", "-windows", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S2") {
+		t.Errorf("fig1 output missing benchmark column:\n%s", out)
+	}
+	csv, err := runCLI(t, "-fig", "table1", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, ",") {
+		t.Errorf("-csv emitted no commas:\n%s", csv)
+	}
+	md, err := runCLI(t, "-fig", "table1", "-md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md, "|") {
+		t.Errorf("-md emitted no table pipes:\n%s", md)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t, "-fig", "nonsense"); err == nil {
+		t.Error("unknown experiment: expected error")
+	}
+	if _, err := runCLI(t); err == nil {
+		t.Error("no action flags: expected error")
+	}
+	if _, err := runCLI(t, "-badflag"); err == nil {
+		t.Error("bad flag: expected error")
+	}
+}

@@ -5,45 +5,61 @@
 //
 //	lbsim -bench S2 -scheme linebacker
 //	lbsim -bench BI -scheme swl:4 -windows 16 -paper
+//	lbsim -bench KM -scheme vc -check
 //	lbsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/linebacker-sim/linebacker"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flag parsing and output against
+// injectable streams, errors returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench      = flag.String("bench", "S2", "benchmark code (see -list)")
-		kernelFile = flag.String("kernel", "", "run a kernel described in a JSON file instead of -bench")
-		scheme     = flag.String("scheme", "linebacker", "scheme specifier (baseline, swl:<n>, ccws, pcal, cerf, cacheext, linebacker, svc, vc, ...)")
-		windows    = flag.Int("windows", 16, "run length in monitoring windows (0 = to completion)")
-		paper      = flag.Bool("paper", false, "full Table 1 scale (16 SMs) instead of the fast 4-SM configuration")
-		list       = flag.Bool("list", false, "list benchmarks and schemes")
-		timeline   = flag.Bool("timeline", false, "print per-window IPC while running")
-		traceFile  = flag.String("trace", "", "replay a recorded memory trace instead of -bench")
-		recordFile = flag.String("record", "", "record the run's memory trace to a file")
+		bench      = fs.String("bench", "S2", "benchmark code (see -list)")
+		kernelFile = fs.String("kernel", "", "run a kernel described in a JSON file instead of -bench")
+		scheme     = fs.String("scheme", "linebacker", "scheme specifier (baseline, swl:<n>, ccws, pcal, cerf, cacheext, linebacker, svc, vc, ...)")
+		windows    = fs.Int("windows", 16, "run length in monitoring windows (0 = to completion)")
+		paper      = fs.Bool("paper", false, "full Table 1 scale (16 SMs) instead of the fast 4-SM configuration")
+		list       = fs.Bool("list", false, "list benchmarks and schemes")
+		timeline   = fs.Bool("timeline", false, "print per-window IPC while running")
+		traceFile  = fs.String("trace", "", "replay a recorded memory trace instead of -bench")
+		recordFile = fs.String("record", "", "record the run's memory trace to a file")
+		checkFlag  = fs.Bool("check", false, "sweep runtime conservation invariants every cycle; abort on violation")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("benchmarks (Table 2):")
+		fmt.Fprintln(stdout, "benchmarks (Table 2):")
 		for _, b := range linebacker.Benchmarks() {
 			class := "cache-insensitive"
 			if b.Sensitive {
 				class = "cache-sensitive"
 			}
-			fmt.Printf("  %-4s %-36s %-10s %s\n", b.Name, b.Desc, b.Suite, class)
+			fmt.Fprintf(stdout, "  %-4s %-36s %-10s %s\n", b.Name, b.Desc, b.Suite, class)
 		}
-		fmt.Println("schemes:")
+		fmt.Fprintln(stdout, "schemes:")
 		for _, s := range linebacker.SchemeNames() {
-			fmt.Printf("  %s\n", s)
+			fmt.Fprintf(stdout, "  %s\n", s)
 		}
-		return
+		return nil
 	}
 
 	var kernel *linebacker.Kernel
@@ -51,92 +67,86 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsim:", err)
-			os.Exit(1)
+			return err
 		}
 		tr, err := linebacker.ParseTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsim:", err)
-			os.Exit(1)
+			return err
 		}
 		kernel, err = tr.Kernel("trace-replay", 2, 8, 8, 24, 4096)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsim:", err)
-			os.Exit(1)
+			return err
 		}
 		title = fmt.Sprintf("trace replay (%d warps, %d loads, %d events from %s)",
 			tr.Warps(), tr.Loads(), tr.Events(), *traceFile)
 	} else if *kernelFile != "" {
 		data, err := os.ReadFile(*kernelFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsim:", err)
-			os.Exit(1)
+			return err
 		}
 		kernel, err = linebacker.ParseKernelJSON(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsim:", err)
-			os.Exit(1)
+			return err
 		}
 		title = fmt.Sprintf("%s (from %s)", kernel.Name, *kernelFile)
 	} else {
 		b, ok := linebacker.Benchmark(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lbsim: unknown benchmark %q (use -list)\n", *bench)
-			os.Exit(1)
+			return fmt.Errorf("unknown benchmark %q (use -list)", *bench)
 		}
 		kernel = b.Kernel
 		title = fmt.Sprintf("%s (%s)", b.Name, b.Desc)
 	}
 	pol, err := linebacker.NewScheme(*scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := linebacker.FastConfig()
 	if *paper {
 		cfg = linebacker.DefaultConfig()
 	}
-	res, err := runKernel(cfg, kernel, pol, *windows, *timeline, *recordFile)
+	cfg.Check = *checkFlag
+	res, err := runKernel(cfg, kernel, pol, *windows, *timeline, *recordFile, stdout, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("benchmark        %s\n", title)
-	fmt.Printf("scheme           %s\n", res.Policy)
-	fmt.Printf("cycles           %d\n", res.Cycles)
-	fmt.Printf("instructions     %d\n", res.Instructions)
-	fmt.Printf("IPC              %.3f\n", res.IPC())
+	fmt.Fprintf(stdout, "benchmark        %s\n", title)
+	fmt.Fprintf(stdout, "scheme           %s\n", res.Policy)
+	fmt.Fprintf(stdout, "cycles           %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "instructions     %d\n", res.Instructions)
+	fmt.Fprintf(stdout, "IPC              %.3f\n", res.IPC())
 	total := res.TotalLoadReqs()
 	if total > 0 {
-		fmt.Printf("load requests    %d\n", total)
-		fmt.Printf("  L1 hits        %5.1f%%\n", pct(res.Loads[0], total))
-		fmt.Printf("  merged misses  %5.1f%%\n", pct(res.Loads[1], total))
-		fmt.Printf("  misses         %5.1f%%\n", pct(res.Loads[2], total))
-		fmt.Printf("  bypasses       %5.1f%%\n", pct(res.Loads[3], total))
-		fmt.Printf("  reg hits       %5.1f%%\n", pct(res.Loads[4], total))
+		fmt.Fprintf(stdout, "load requests    %d\n", total)
+		fmt.Fprintf(stdout, "  L1 hits        %5.1f%%\n", pct(res.Loads[0], total))
+		fmt.Fprintf(stdout, "  merged misses  %5.1f%%\n", pct(res.Loads[1], total))
+		fmt.Fprintf(stdout, "  misses         %5.1f%%\n", pct(res.Loads[2], total))
+		fmt.Fprintf(stdout, "  bypasses       %5.1f%%\n", pct(res.Loads[3], total))
+		fmt.Fprintf(stdout, "  reg hits       %5.1f%%\n", pct(res.Loads[4], total))
 	}
-	fmt.Printf("L1 miss split    cold %d / capacity+conflict %d\n", res.L1.ColdMisses, res.L1.CapConfMisses)
-	fmt.Printf("RF bank conflicts %d\n", res.RF.BankConflicts)
-	fmt.Printf("DRAM traffic     %.1f KB read, %.1f KB written (backup %.1f KB, restore %.1f KB)\n",
+	fmt.Fprintf(stdout, "L1 miss split    cold %d / capacity+conflict %d\n", res.L1.ColdMisses, res.L1.CapConfMisses)
+	fmt.Fprintf(stdout, "RF bank conflicts %d\n", res.RF.BankConflicts)
+	fmt.Fprintf(stdout, "DRAM traffic     %.1f KB read, %.1f KB written (backup %.1f KB, restore %.1f KB)\n",
 		float64(res.DRAM.BytesRead)/1024, float64(res.DRAM.BytesWritten)/1024,
 		float64(res.DRAM.RegBackupBytes)/1024, float64(res.DRAM.RegRestoreBytes)/1024)
 	eb := linebacker.Energy(&cfg, res)
-	fmt.Printf("energy           %.3g J total (%.3g pJ/instr)\n", eb.Total(),
+	fmt.Fprintf(stdout, "energy           %.3g J total (%.3g pJ/instr)\n", eb.Total(),
 		linebacker.EnergyPerInstruction(&cfg, res)*1e12)
 	if len(res.Extra) > 0 {
-		fmt.Println("scheme metrics:")
+		fmt.Fprintln(stdout, "scheme metrics:")
 		for _, k := range sortedKeys(res.Extra) {
-			fmt.Printf("  %-24s %.3f\n", k, res.Extra[k])
+			fmt.Fprintf(stdout, "  %-24s %.3f\n", k, res.Extra[k])
 		}
 	}
+	return nil
 }
 
 // runKernel runs with optional per-window IPC timeline output and optional
 // trace recording.
-func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Policy, windows int, timeline bool, recordFile string) (*linebacker.Result, error) {
+func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Policy, windows int, timeline bool, recordFile string, stdout, stderr io.Writer) (*linebacker.Result, error) {
 	if !timeline && recordFile == "" {
 		return linebacker.Run(cfg, k, pol, windows)
 	}
@@ -153,7 +163,7 @@ func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Polic
 		linebacker.RecordTrace(g, rec)
 		defer func() {
 			if err := rec.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "lbsim: flushing trace:", err)
+				fmt.Fprintln(stderr, "lbsim: flushing trace:", err)
 			}
 			f.Close()
 		}()
@@ -164,7 +174,7 @@ func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Polic
 	}
 	win := int64(cfg.LB.WindowCycles)
 	var prevRetired int64
-	fmt.Println("window  IPC      bar")
+	fmt.Fprintln(stdout, "window  IPC      bar")
 	for w := 1; w <= windows; w++ {
 		g.Run(int64(w) * win)
 		var retired int64
@@ -177,9 +187,9 @@ func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Polic
 		for i := 0.0; i+0.25 <= ipc; i += 0.25 {
 			bar += "#"
 		}
-		fmt.Printf("%6d  %6.3f   %s\n", w, ipc, bar)
+		fmt.Fprintf(stdout, "%6d  %6.3f   %s\n", w, ipc, bar)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	return g.Collect(), nil
 }
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmarks (Table 2):", "S2", "schemes:", "linebacker"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	out, err := runCLI(t, "-bench", "S2", "-scheme", "baseline", "-windows", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "scheme           Baseline", "cycles", "IPC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithCheck(t *testing.T) {
+	if _, err := runCLI(t, "-bench", "S2", "-scheme", "vc", "-windows", "2", "-check"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out, err := runCLI(t, "-bench", "S2", "-scheme", "baseline", "-windows", "2", "-timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "window  IPC") {
+		t.Errorf("timeline header missing in:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "NOPE"},
+		{"-scheme", "nonsense"},
+		{"-badflag"},
+	} {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

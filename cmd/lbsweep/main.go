@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/linebacker-sim/linebacker"
@@ -20,71 +21,89 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flag parsing and output against
+// injectable streams, errors returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mode    = flag.String("mode", "swl", "sweep: swl | cache | vtt")
-		bench   = flag.String("bench", "S2", "benchmark code")
-		scheme  = flag.String("scheme", "linebacker", "scheme for the cache sweep")
-		windows = flag.Int("windows", 16, "run length in monitoring windows")
-		paper   = flag.Bool("paper", false, "full Table 1 scale")
+		mode    = fs.String("mode", "swl", "sweep: swl | cache | vtt")
+		bench   = fs.String("bench", "S2", "benchmark code")
+		scheme  = fs.String("scheme", "linebacker", "scheme for the cache sweep")
+		windows = fs.Int("windows", 16, "run length in monitoring windows")
+		paper   = fs.Bool("paper", false, "full Table 1 scale")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	b, ok := linebacker.Benchmark(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lbsweep: unknown benchmark %q\n", *bench)
-		os.Exit(1)
+		return fmt.Errorf("unknown benchmark %q", *bench)
 	}
 	cfg := linebacker.FastConfig()
 	if *paper {
 		cfg = linebacker.DefaultConfig()
 	}
 
-	run := func(cfg linebacker.Config, pol linebacker.Policy) *linebacker.Result {
-		res, err := linebacker.Run(cfg, b.Kernel, pol, *windows)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsweep:", err)
-			os.Exit(1)
-		}
-		return res
+	runOne := func(cfg linebacker.Config, pol linebacker.Policy) (*linebacker.Result, error) {
+		return linebacker.Run(cfg, b.Kernel, pol, *windows)
 	}
 
 	switch *mode {
 	case "swl":
 		maxRes := sim.MaxResidentCTAs(&cfg.GPU, b.Kernel)
-		fmt.Printf("static CTA limit sweep for %s (max resident %d):\n", b.Name, maxRes)
+		fmt.Fprintf(stdout, "static CTA limit sweep for %s (max resident %d):\n", b.Name, maxRes)
 		bestIPC, bestLim := 0.0, 0
 		for lim := 1; lim <= maxRes; lim++ {
-			r := run(cfg, schemes.SWL{Limit: lim})
-			fmt.Printf("  limit %2d: IPC %.3f\n", lim, r.IPC())
+			r, err := runOne(cfg, schemes.SWL{Limit: lim})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  limit %2d: IPC %.3f\n", lim, r.IPC())
 			if r.IPC() > bestIPC {
 				bestIPC, bestLim = r.IPC(), lim
 			}
 		}
-		fmt.Printf("Best-SWL: limit %d (IPC %.3f)\n", bestLim, bestIPC)
+		fmt.Fprintf(stdout, "Best-SWL: limit %d (IPC %.3f)\n", bestLim, bestIPC)
 	case "cache":
 		pol, err := linebacker.NewScheme(*scheme)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbsweep:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("L1 size sweep for %s under %s:\n", b.Name, pol.Name())
+		fmt.Fprintf(stdout, "L1 size sweep for %s under %s:\n", b.Name, pol.Name())
 		for _, kb := range []int{16, 48, 64, 96, 128} {
 			c := cfg
 			c.GPU.L1Bytes = kb * 1024
-			base := run(c, sim.Baseline{})
-			r := run(c, pol)
-			fmt.Printf("  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, r.IPC(), r.IPC()/base.IPC())
+			base, err := runOne(c, sim.Baseline{})
+			if err != nil {
+				return err
+			}
+			r, err := runOne(c, pol)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, r.IPC(), r.IPC()/base.IPC())
 		}
 	case "vtt":
-		fmt.Printf("VTT partition associativity sweep for %s:\n", b.Name)
+		fmt.Fprintf(stdout, "VTT partition associativity sweep for %s:\n", b.Name)
 		for _, ways := range []int{1, 2, 4, 8, 16, 32} {
 			pol := core.NewWith(core.Options{Selection: true, Throttling: true, VTTWays: ways})
-			r := run(cfg, pol)
-			fmt.Printf("  %2d-way VPs: IPC %.3f, reg-hit %.1f%%, victim %.0f KB avg\n",
+			r, err := runOne(cfg, pol)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "  %2d-way VPs: IPC %.3f, reg-hit %.1f%%, victim %.0f KB avg\n",
 				ways, r.IPC(), r.RegHitRatio()*100, r.Extra["lb_victim_bytes_avg"]/1024)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "lbsweep: unknown mode %q\n", *mode)
-		os.Exit(1)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }

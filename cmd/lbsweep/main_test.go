@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out, io.Discard)
+	return out.String(), err
+}
+
+func TestSWLSweep(t *testing.T) {
+	out, err := runCLI(t, "-mode", "swl", "-bench", "S2", "-windows", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Best-SWL: limit") {
+		t.Errorf("missing Best-SWL summary:\n%s", out)
+	}
+}
+
+func TestVTTSweep(t *testing.T) {
+	out, err := runCLI(t, "-mode", "vtt", "-bench", "S2", "-windows", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "VTT partition associativity sweep") {
+		t.Errorf("missing sweep header:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "nonsense"},
+		{"-bench", "NOPE"},
+		{"-mode", "cache", "-scheme", "nonsense"},
+		{"-badflag"},
+	} {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/schemes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// Pair is a differential test case: two (config, policy) legs that must
+// produce identical engine-visible results on every benchmark and seed,
+// because their behavioural difference is provably nil.
+type Pair struct {
+	Name string
+	// CfgA/CfgB adjust the base configuration per leg (nil = unchanged).
+	CfgA, CfgB func(config.Config) config.Config
+	// PolA/PolB build the two policies (fresh instances per run).
+	PolA, PolB func() sim.Policy
+}
+
+// zeroVictimSpace pushes the victim-register offset to the top of the
+// register file so the VTT clamps to zero partitions: the scheme keeps all
+// its monitoring machinery but can never service or preserve a line.
+func zeroVictimSpace(cfg config.Config) config.Config {
+	cfg.LB.RegOffset = cfg.GPU.WarpRegisters() - 1
+	return cfg
+}
+
+// EquivalencePairs returns the canonical must-converge pairs:
+//
+//   - baseline vs. SWL with a CTA limit at the residency ceiling (the limit
+//     never binds, so the gate is transparent);
+//   - baseline vs. selective victim caching with zero victim registers (the
+//     paper's C=0 degenerate point: monitoring runs but no line can ever be
+//     preserved, so timing must match the baseline exactly);
+//   - baseline vs. preserve-all victim caching with zero victim registers;
+//   - the two zero-register victim schemes against each other (throttling
+//     disabled on both sides, per the ablation identity).
+func EquivalencePairs(base config.Config) []Pair {
+	baseline := func() sim.Policy { return sim.Baseline{} }
+	return []Pair{
+		{
+			Name: "baseline-vs-unbound-swl",
+			PolA: baseline,
+			PolB: func() sim.Policy { return schemes.SWL{Limit: base.GPU.MaxCTAsPerSM} },
+		},
+		{
+			Name: "baseline-vs-svc-zero-regs",
+			PolA: baseline,
+			CfgB: zeroVictimSpace,
+			PolB: func() sim.Policy { return core.NewWith(core.Options{Selection: true}) },
+		},
+		{
+			Name: "baseline-vs-vc-zero-regs",
+			PolA: baseline,
+			CfgB: zeroVictimSpace,
+			PolB: func() sim.Policy { return core.NewWith(core.Options{Selection: false}) },
+		},
+		{
+			Name: "svc-vs-vc-zero-regs",
+			CfgA: zeroVictimSpace,
+			PolA: func() sim.Policy { return core.NewWith(core.Options{Selection: true}) },
+			CfgB: zeroVictimSpace,
+			PolB: func() sim.Policy { return core.NewWith(core.Options{Selection: false}) },
+		},
+	}
+}
+
+// RunPair executes both legs of the pair on one benchmark and returns the
+// metric divergences (empty = converged). The invariant checker rides along
+// on both legs.
+func RunPair(base config.Config, bench string, windows int, p Pair) ([]string, error) {
+	run := func(adjust func(config.Config) config.Config, mk func() sim.Policy) (*sim.Result, error) {
+		cfg := base
+		if adjust != nil {
+			cfg = adjust(cfg)
+		}
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("check: unknown benchmark %q", bench)
+		}
+		g, err := sim.New(cfg, b.Kernel, mk())
+		if err != nil {
+			return nil, err
+		}
+		Attach(g)
+		g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+		return g.Collect(), nil
+	}
+	a, err := run(p.CfgA, p.PolA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := run(p.CfgB, p.PolB)
+	if err != nil {
+		return nil, err
+	}
+	return CompareResults(a, b), nil
+}
+
+// CompareResults diffs every engine-visible metric of two results, ignoring
+// the scheme identity fields (Policy, Extra). The returned strings name
+// each divergence.
+func CompareResults(a, b *sim.Result) []string {
+	var diffs []string
+	add := func(field string, av, bv any) {
+		diffs = append(diffs, fmt.Sprintf("%s: %v vs %v", field, av, bv))
+	}
+	if a.Cycles != b.Cycles {
+		add("Cycles", a.Cycles, b.Cycles)
+	}
+	if a.Instructions != b.Instructions {
+		add("Instructions", a.Instructions, b.Instructions)
+	}
+	if a.Loads != b.Loads {
+		add("Loads", a.Loads, b.Loads)
+	}
+	if a.Stores != b.Stores {
+		add("Stores", a.Stores, b.Stores)
+	}
+	if a.L1 != b.L1 {
+		add("L1", a.L1, b.L1)
+	}
+	if a.L2 != b.L2 {
+		add("L2", a.L2, b.L2)
+	}
+	if a.DRAM != b.DRAM {
+		add("DRAM", a.DRAM, b.DRAM)
+	}
+	if a.RF != b.RF {
+		add("RF", a.RF, b.RF)
+	}
+	if a.CTALaunches != b.CTALaunches {
+		add("CTALaunches", a.CTALaunches, b.CTALaunches)
+	}
+	if a.CTACompleted != b.CTACompleted {
+		add("CTACompleted", a.CTACompleted, b.CTACompleted)
+	}
+	return diffs
+}

@@ -1,0 +1,43 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEquivalencePairsConverge runs every provably convergent policy pair on
+// a sample of benchmarks and demands metric-for-metric identical results.
+// These pairs differ only in machinery that is configured to be inert
+// (an unbinding CTA limit, a zero-partition VTT), so any divergence is an
+// engine bug, not a modelling choice.
+func TestEquivalencePairsConverge(t *testing.T) {
+	benches := []string{"S2", "BI", "BC"}
+	if testing.Short() {
+		benches = benches[:1]
+	}
+	cfg := testConfig()
+	for _, p := range EquivalencePairs(cfg) {
+		for _, bench := range benches {
+			p, bench := p, bench
+			t.Run(p.Name+"/"+bench, func(t *testing.T) {
+				t.Parallel()
+				diffs, err := RunPair(cfg, bench, 6, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(diffs) != 0 {
+					t.Errorf("legs diverged:\n%s", strings.Join(diffs, "\n"))
+				}
+			})
+		}
+	}
+}
+
+// TestRunPairRejectsUnknownBench covers the error path.
+func TestRunPairRejectsUnknownBench(t *testing.T) {
+	cfg := testConfig()
+	p := EquivalencePairs(cfg)[0]
+	if _, err := RunPair(cfg, "NOPE", 1, p); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}

@@ -1,0 +1,180 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// Metrics is the committed headline-metric vector of one (bench, scheme)
+// run. Everything is an exact integer count: the simulator is
+// deterministic, so the regression gate can demand equality, and derived
+// ratios (IPC, hit rates) follow from these.
+type Metrics struct {
+	Cycles       int64    `json:"cycles"`
+	Instructions int64    `json:"instructions"`
+	Loads        [5]int64 `json:"loads"` // by sim.Outcome: hit, pending, miss, bypass, reg-hit
+	Stores       int64    `json:"stores"`
+	L1Hits       int64    `json:"l1_hits"`
+	L1Misses     int64    `json:"l1_misses"`
+	DRAMRead     int64    `json:"dram_read_bytes"`
+	DRAMWritten  int64    `json:"dram_written_bytes"`
+}
+
+// metricsOf projects a result onto the golden vector.
+func metricsOf(r *sim.Result) Metrics {
+	return Metrics{
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+		Loads:        r.Loads,
+		Stores:       r.Stores,
+		L1Hits:       r.L1.LoadHits,
+		L1Misses:     r.L1.LoadMisses,
+		DRAMRead:     r.DRAM.BytesRead,
+		DRAMWritten:  r.DRAM.BytesWritten,
+	}
+}
+
+// Snapshot is a golden-metrics capture: every benchmark under the
+// reference schemes at a fixed configuration and run length.
+type Snapshot struct {
+	Desc    string             `json:"desc"`
+	Windows int                `json:"windows"`
+	Entries map[string]Metrics `json:"entries"` // key "BENCH|Scheme"
+}
+
+// GoldenSchemes returns the reference scheme factories snapshotted by the
+// regression gate, keyed by snapshot name.
+func GoldenSchemes() map[string]func() sim.Policy {
+	return map[string]func() sim.Policy{
+		"baseline": func() sim.Policy { return sim.Baseline{} },
+		"lb":       func() sim.Policy { return core.New() },
+	}
+}
+
+// Capture runs every (bench, scheme) combination for the given windows and
+// snapshots the headline metrics. Runs execute in parallel; determinism
+// across parallel execution is itself part of what the regression verifies.
+func Capture(cfg config.Config, desc string, windows int, benches []string, mks map[string]func() sim.Policy) (*Snapshot, error) {
+	s := &Snapshot{Desc: desc, Windows: windows, Entries: map[string]Metrics{}}
+	type job struct{ bench, scheme string }
+	var jobs []job
+	for _, b := range benches {
+		for name := range mks {
+			jobs = append(jobs, job{b, name})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].bench != jobs[j].bench {
+			return jobs[i].bench < jobs[j].bench
+		}
+		return jobs[i].scheme < jobs[j].scheme
+	})
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b, ok := workload.ByName(j.bench)
+			if !ok {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("check: unknown benchmark %q", j.bench)
+				}
+				mu.Unlock()
+				return
+			}
+			g, err := sim.New(cfg, b.Kernel, mks[j.scheme]())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("check: %s/%s: %w", j.bench, j.scheme, err)
+				}
+				mu.Unlock()
+				return
+			}
+			g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+			m := metricsOf(g.Collect())
+			mu.Lock()
+			s.Entries[j.bench+"|"+j.scheme] = m
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// Compare returns the divergences of got from the golden snapshot: changed
+// metrics, missing entries, and unexpected extras, sorted by key.
+func (s *Snapshot) Compare(got *Snapshot) []string {
+	var diffs []string
+	if s.Windows != got.Windows {
+		diffs = append(diffs, fmt.Sprintf("windows: golden %d vs got %d", s.Windows, got.Windows))
+	}
+	keys := map[string]struct{}{}
+	for k := range s.Entries {
+		keys[k] = struct{}{}
+	}
+	for k := range got.Entries {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		want, okW := s.Entries[k]
+		have, okH := got.Entries[k]
+		switch {
+		case !okW:
+			diffs = append(diffs, fmt.Sprintf("%s: not in golden snapshot", k))
+		case !okH:
+			diffs = append(diffs, fmt.Sprintf("%s: missing from run", k))
+		case want != have:
+			diffs = append(diffs, fmt.Sprintf("%s:\n  golden %+v\n  got    %+v", k, want, have))
+		}
+	}
+	return diffs
+}
+
+// LoadSnapshot reads a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("check: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes the snapshot with stable formatting.
+func (s *Snapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

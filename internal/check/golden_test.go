@@ -1,0 +1,74 @@
+package check_test
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/check"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden-metrics snapshot")
+
+const (
+	goldenPath    = "testdata/golden.json"
+	goldenWindows = 3
+)
+
+// TestGoldenMetrics re-runs every Table 2 benchmark under the reference
+// schemes at the repository's experiment configuration and compares the
+// headline metrics against the committed snapshot, exact-integer equal.
+// Any engine or scheme change that shifts a metric must be accompanied by
+// a reviewed `go test ./internal/check -run TestGoldenMetrics -update`.
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden capture runs all 20 benchmarks; skipped in -short")
+	}
+	got, err := check.Capture(harness.BenchConfig(),
+		"BenchConfig (4 SMs, 12.5k-cycle windows), Table 2 benchmarks under {baseline, lb}",
+		goldenWindows, workload.Names(), check.GoldenSchemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Save(goldenPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got.Entries))
+		return
+	}
+	want, err := check.LoadSnapshot(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the snapshot)", err)
+	}
+	if diffs := want.Compare(got); len(diffs) != 0 {
+		t.Errorf("metrics diverged from golden snapshot (re-run with -update if intended):\n%s",
+			strings.Join(diffs, "\n"))
+	}
+}
+
+// TestGoldenSnapshotComplete verifies the committed snapshot covers the
+// full benchmark × scheme cross product, so a silently dropped benchmark
+// cannot shrink the regression surface.
+func TestGoldenSnapshotComplete(t *testing.T) {
+	want, err := check.LoadSnapshot(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range workload.Names() {
+		for scheme := range check.GoldenSchemes() {
+			if _, ok := want.Entries[bench+"|"+scheme]; !ok {
+				t.Errorf("snapshot missing %s|%s", bench, scheme)
+			}
+		}
+	}
+	if want.Windows != goldenWindows {
+		t.Errorf("snapshot captured at %d windows, test runs %d", want.Windows, goldenWindows)
+	}
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+
+	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// SeedDeterminism runs the same (config, benchmark, policy) twice and
+// demands byte-identical results: the engine has no hidden entropy, so any
+// divergence is a use of unordered state (map iteration, shared mutation).
+// mk must build a fresh policy instance per call.
+func SeedDeterminism(cfg config.Config, bench string, mk func() sim.Policy, windows int) error {
+	run := func() (*sim.Result, error) {
+		b, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("check: unknown benchmark %q", bench)
+		}
+		g, err := sim.New(cfg, b.Kernel, mk())
+		if err != nil {
+			return nil, err
+		}
+		g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+		return g.Collect(), nil
+	}
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("check: %s/%s diverged across identical runs:\n%+v\n%+v", bench, a.Policy, a, b)
+	}
+	return nil
+}
+
+// L1SizeMonotonicity sweeps the baseline L1 capacity (the Figure 5/14 axis)
+// and verifies the combined hit ratio never falls by more than slack: a
+// strictly larger cache may reshuffle timing, but a material hit-ratio drop
+// with extra capacity means replacement or MSHR accounting is broken.
+// sizes must be ascending and compatible with the configured associativity.
+func L1SizeMonotonicity(cfg config.Config, bench string, sizes []int, windows int, slack float64) error {
+	b, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("check: unknown benchmark %q", bench)
+	}
+	prev := -1.0
+	prevSize := 0
+	for _, size := range sizes {
+		c := cfg
+		c.GPU.L1Bytes = size
+		g, err := sim.New(c, b.Kernel, sim.Baseline{})
+		if err != nil {
+			return fmt.Errorf("check: L1 size %d: %w", size, err)
+		}
+		Attach(g)
+		g.Run(int64(windows) * int64(c.LB.WindowCycles))
+		hr := g.Collect().HitRatio()
+		if prev >= 0 && hr < prev-slack {
+			return fmt.Errorf("check: %s hit ratio fell from %.4f (%d B L1) to %.4f (%d B L1)",
+				bench, prev, prevSize, hr, size)
+		}
+		prev, prevSize = hr, size
+	}
+	return nil
+}
+
+// AggregationConsistency re-derives the collected result from the per-SM
+// state, summing in both SM orders, and demands agreement with Collect():
+// the aggregate must be invariant under renumbering the SMs, and Collect
+// must neither drop nor double-count a component.
+func AggregationConsistency(g *sim.GPU, r *sim.Result) error {
+	sms := g.SMs()
+	sum := func(order []int) (instr, stores, launches, done int64, loads [5]int64, l1 cache.Stats) {
+		for _, i := range order {
+			sm := sms[i]
+			instr += sm.Stats.Retired
+			stores += sm.Stats.StoreReqs
+			launches += sm.Stats.CTALaunches
+			done += sm.Stats.CTADone
+			for k, v := range sm.Stats.LoadReqs {
+				loads[k] += v
+			}
+			s := sm.L1().Stats
+			l1.LoadHits += s.LoadHits
+			l1.LoadPendingHits += s.LoadPendingHits
+			l1.LoadMisses += s.LoadMisses
+			l1.ColdMisses += s.ColdMisses
+			l1.CapConfMisses += s.CapConfMisses
+			l1.StoreHits += s.StoreHits
+			l1.StoreMisses += s.StoreMisses
+			l1.Bypasses += s.Bypasses
+			l1.Evictions += s.Evictions
+			l1.DirtyEvictions += s.DirtyEvictions
+			l1.MSHRStalls += s.MSHRStalls
+		}
+		return
+	}
+	fwd := make([]int, len(sms))
+	rev := make([]int, len(sms))
+	for i := range sms {
+		fwd[i] = i
+		rev[i] = len(sms) - 1 - i
+	}
+	fi, fs, fl, fd, flo, fl1 := sum(fwd)
+	ri, rs, rl, rd, rlo, rl1 := sum(rev)
+	if fi != ri || fs != rs || fl != rl || fd != rd || flo != rlo || fl1 != rl1 {
+		return fmt.Errorf("check: aggregate differs across SM orderings")
+	}
+	switch {
+	case r.Instructions != fi:
+		return fmt.Errorf("check: Collect has %d instructions, SMs hold %d", r.Instructions, fi)
+	case r.Stores != fs:
+		return fmt.Errorf("check: Collect has %d stores, SMs hold %d", r.Stores, fs)
+	case r.Loads != flo:
+		return fmt.Errorf("check: Collect loads %v, SMs hold %v", r.Loads, flo)
+	case r.CTALaunches != fl || r.CTACompleted != fd:
+		return fmt.Errorf("check: Collect CTAs %d/%d, SMs hold %d/%d", r.CTALaunches, r.CTACompleted, fl, fd)
+	case r.L1 != fl1:
+		return fmt.Errorf("check: Collect L1 %+v, SMs hold %+v", r.L1, fl1)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// TestSeedDeterminism re-runs every policy family on one benchmark and
+// demands deeply equal results: the engine must be free of hidden entropy
+// and unordered-map effects.
+func TestSeedDeterminism(t *testing.T) {
+	for name, mk := range testPolicies() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := SeedDeterminism(testConfig(), "S2", mk, 6); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestParallelRunDeterminism runs several identical simulations
+// concurrently and demands they all agree with a serial reference run —
+// the property the parallel harness.Runner and golden Capture rely on.
+// Under -race this also proves run state is never shared across instances.
+func TestParallelRunDeterminism(t *testing.T) {
+	cfg := testConfig()
+	b, _ := workload.ByName("BI")
+	run := func() *sim.Result {
+		g, err := sim.New(cfg, b.Kernel, testPolicies()["lb"]())
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		g.Run(6 * int64(cfg.LB.WindowCycles))
+		return g.Collect()
+	}
+	ref := run()
+
+	const workers = 4
+	results := make([]*sim.Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !reflect.DeepEqual(ref, r) {
+			t.Errorf("concurrent run %d diverged from serial reference", i)
+		}
+	}
+}
+
+// TestL1SizeMonotonicity grows the baseline L1 across the Figure 5 axis and
+// verifies the hit ratio never materially falls: capacity can only help a
+// correctly modelled cache. The small slack absorbs timing-induced
+// reshuffling of which windows complete within the fixed run length.
+func TestL1SizeMonotonicity(t *testing.T) {
+	benches := []string{"S2", "KM"}
+	if testing.Short() {
+		benches = benches[:1]
+	}
+	sizes := []int{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			if err := L1SizeMonotonicity(testConfig(), bench, sizes, 6, 0.01); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAggregationConsistency verifies Collect() equals the per-SM sums in
+// either SM enumeration order — renumbering the SMs cannot change the
+// aggregate, and Collect neither drops nor double-counts a component.
+func TestAggregationConsistency(t *testing.T) {
+	cfg := testConfig()
+	b, _ := workload.ByName("S2")
+	for name, mk := range testPolicies() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, err := sim.New(cfg, b.Kernel, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Run(6 * int64(cfg.LB.WindowCycles))
+			if err := AggregationConsistency(g, g.Collect()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -137,6 +137,15 @@ type Config struct {
 	MaxCycles int64
 	// Seed drives the deterministic workload PRNG.
 	Seed uint64
+	// Check enables the runtime invariant checker (internal/check) on every
+	// run built through the top-level API and the experiment harness: the
+	// engine's conservation laws are verified while the simulation runs and
+	// any violation aborts the run. Off by default — checking costs time.
+	Check bool
+	// CheckEvery is the cycle interval between invariant sweeps when Check
+	// is enabled (0 = every cycle). Larger intervals trade detection
+	// latency for speed; window-boundary checking uses LB.WindowCycles.
+	CheckEvery int
 }
 
 // Default returns the paper's baseline configuration (Tables 1 and 3).
@@ -267,6 +276,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: LM %d entries not addressable by %d-bit HPC", l.LMEntries, l.HPCBits)
 	case l.BackupBufEntries <= 0:
 		return errors.New("config: BackupBufEntries must be positive")
+	}
+	if c.CheckEvery < 0 {
+		return errors.New("config: CheckEvery must be non-negative")
 	}
 	return nil
 }

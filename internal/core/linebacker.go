@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/linebacker-sim/linebacker/internal/cache"
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
@@ -126,6 +128,7 @@ type SMState struct {
 	cycles           int64
 	monitorWindows   int
 	regHitSteps      int64
+	regHits          int64
 }
 
 func newSMState(sm *sim.SM, opts Options) *SMState {
@@ -230,6 +233,7 @@ func (s *SMState) ProbeVictim(line memtypes.LineAddr, pc uint32, cycle int64) (b
 		lat += 2 // register bank conflict with operand traffic
 	}
 	s.regHitSteps += int64(steps)
+	s.regHits++
 	return true, lat
 }
 
@@ -557,6 +561,62 @@ func (s *SMState) startRestore(cycle int64) {
 func (s *SMState) finishRestore(t *transit, cycle int64) {
 	s.slotStates[t.slot] = slotRunning
 	s.ctaMgrAccesses++
+}
+
+// --- verification hooks (consumed by internal/check) ---
+
+// VictimHits returns the victim-cache hits this policy serviced; the
+// invariant checker cross-checks it against the engine's OutRegHit count.
+func (s *SMState) VictimHits() int64 { return s.regHits }
+
+// RegInflight returns the register backup/restore line requests currently
+// in flight below the SM; the invariant checker matches it against the
+// RegBackup/RegRestore census of the memory system.
+func (s *SMState) RegInflight() int {
+	if s.trans == nil {
+		return 0
+	}
+	return s.trans.inflight
+}
+
+// CheckInvariants verifies Linebacker-internal conservation laws: victim
+// storage never exceeds the registers the register file reports unused,
+// usable VTT partitions lie strictly above the largest live register
+// number, and backup/restore transfer accounting balances.
+func (s *SMState) CheckInvariants() error {
+	// During monitoring the VTT tracks tags only (no register storage), so
+	// occupancy constraints bind only once victim data actually lives in
+	// the register file.
+	if s.phase == phaseActive {
+		rf := s.sm.RF()
+		if cap, unused := s.vtt.CapacityBytes(), rf.StaticallyUnusedBytes(); cap > unused {
+			return fmt.Errorf("core: victim capacity %d B exceeds %d B of unused registers", cap, unused)
+		}
+		if s.vtt.ActiveParts() > 0 {
+			if lrn := rf.LargestLiveRN(); s.vtt.FirstUsableFor(lrn) > s.vtt.MaxParts()-s.vtt.ActiveParts() {
+				return fmt.Errorf("core: %d VTT partitions usable but live registers reach RN %d", s.vtt.ActiveParts(), lrn)
+			}
+		}
+	}
+	if t := s.trans; t != nil {
+		switch {
+		case t.sent != t.done+t.inflight:
+			return fmt.Errorf("core: transfer sent %d != done %d + inflight %d", t.sent, t.done, t.inflight)
+		case t.sent > t.count:
+			return fmt.Errorf("core: transfer sent %d of %d registers", t.sent, t.count)
+		case t.inflight > s.sm.Config().LB.BackupBufEntries:
+			return fmt.Errorf("core: %d transfers in flight exceed the %d-entry buffer", t.inflight, s.sm.Config().LB.BackupBufEntries)
+		}
+	}
+	for _, slot := range s.inactiveStack {
+		if s.slotStates[slot] != slotInactive {
+			return fmt.Errorf("core: slot %d on the inactive stack in state %d", slot, s.slotStates[slot])
+		}
+		if !s.sm.CTA(slot).Resident {
+			return fmt.Errorf("core: inactive slot %d is not resident", slot)
+		}
+	}
+	return nil
 }
 
 // --- statistics ---

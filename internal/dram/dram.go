@@ -117,6 +117,19 @@ func (d *DRAM) QueueLen() int {
 // Inflight returns the number of scheduled but not yet completed requests.
 func (d *DRAM) Inflight() int { return len(d.inflight) }
 
+// ForEach visits every queued and in-service request in unspecified order.
+// Used by the invariant checker; fn must not mutate the model.
+func (d *DRAM) ForEach(fn func(*memtypes.Request)) {
+	for _, q := range d.queues {
+		for _, req := range q {
+			fn(req)
+		}
+	}
+	for i := range d.inflight {
+		fn(d.inflight[i].req)
+	}
+}
+
 // Tick advances one core cycle and returns the requests whose data transfer
 // completes at this cycle.
 func (d *DRAM) Tick(cycle int64) []*memtypes.Request {

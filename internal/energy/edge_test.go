@@ -1,0 +1,45 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// TestZeroActivityWindow covers the degenerate result of a window in which
+// nothing ran: every component must be exactly zero (no spurious static
+// charge for zero cycles, no division blow-ups) and the per-instruction
+// metric must be defined as zero.
+func TestZeroActivityWindow(t *testing.T) {
+	cfg := config.Default()
+	r := &sim.Result{Extra: map[string]float64{}}
+	b := Compute(&cfg, r)
+	if b.Exec != 0 || b.RegFile != 0 || b.L1 != 0 || b.L2 != 0 || b.DRAM != 0 ||
+		b.Static != 0 || b.LBExtra != 0 {
+		t.Fatalf("zero-activity window has nonzero energy: %+v", b)
+	}
+	if b.Total() != 0 {
+		t.Fatalf("zero-activity total = %v", b.Total())
+	}
+	if pi := PerInstruction(&cfg, r); pi != 0 {
+		t.Fatalf("zero-activity per-instruction = %v", pi)
+	}
+}
+
+// TestIdleWindowStaticOnly verifies a window with cycles but no retired
+// work accrues static leakage and nothing else.
+func TestIdleWindowStaticOnly(t *testing.T) {
+	cfg := config.Default()
+	r := &sim.Result{Cycles: 50000, Extra: map[string]float64{}}
+	b := Compute(&cfg, r)
+	if b.Static <= 0 {
+		t.Fatalf("idle window must leak statically: %+v", b)
+	}
+	if b.Exec != 0 || b.RegFile != 0 || b.L1 != 0 || b.L2 != 0 || b.DRAM != 0 || b.LBExtra != 0 {
+		t.Fatalf("idle window charged dynamic energy: %+v", b)
+	}
+	if b.Total() != b.Static {
+		t.Fatalf("idle total %v != static %v", b.Total(), b.Static)
+	}
+}

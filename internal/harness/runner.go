@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/linebacker-sim/linebacker/internal/check"
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/schemes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
@@ -72,15 +73,24 @@ func (r *Runner) cycles(cfg *config.Config) int64 {
 }
 
 // Run simulates one benchmark under one policy using the runner's base
-// config, memoised by (bench, policy-name).
+// config, memoised by (config fingerprint, bench, policy-name).
 func (r *Runner) Run(bench string, pol sim.Policy) *sim.Result {
 	return r.RunCfg(r.Cfg, "", bench, pol)
 }
 
-// RunCfg simulates with an explicit configuration; cfgKey must uniquely
-// identify any deviation from the base config for memoisation.
+// cfgFingerprint renders every field of the configuration into the memo
+// key. Config is a tree of value types, so %v is deterministic and two
+// configs collide only when they are semantically identical.
+func cfgFingerprint(cfg *config.Config) string {
+	return fmt.Sprintf("%v", *cfg)
+}
+
+// RunCfg simulates with an explicit configuration. The memo key always
+// includes a full fingerprint of cfg, so two different configurations can
+// never alias a cache entry; cfgKey is a human-readable discriminator kept
+// for experiment labelling and stable memo keys across sweeps.
 func (r *Runner) RunCfg(cfg config.Config, cfgKey, bench string, pol sim.Policy) *sim.Result {
-	key := fmt.Sprintf("%s|%s|%s", cfgKey, bench, pol.Name())
+	key := fmt.Sprintf("%s|%s|%s|%s", cfgKey, cfgFingerprint(&cfg), bench, pol.Name())
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -106,6 +116,9 @@ func (r *Runner) execute(cfg config.Config, bench string, pol sim.Policy) *sim.R
 	g, err := sim.New(cfg, b.Kernel, pol)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %s/%s: %v", bench, pol.Name(), err))
+	}
+	if cfg.Check {
+		check.Attach(g)
 	}
 	g.Run(r.cycles(&cfg))
 	return g.Collect()

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// TestRunCfgNoConfigAliasing is the regression test for the memo-key bug
+// where RunCfg keyed runs by (cfgKey, bench, policy-name) only: two
+// different configurations sharing a cfgKey silently returned the first
+// run's result. The key now embeds a full config fingerprint.
+func TestRunCfgNoConfigAliasing(t *testing.T) {
+	r := NewRunner(BenchConfig(), 2)
+
+	small := r.Cfg
+	small.GPU.L1Bytes = 16 * 1024
+	large := r.Cfg
+	large.GPU.L1Bytes = 128 * 1024
+
+	// Identical cfgKey ("") and (bench, policy) on purpose.
+	resSmall := r.RunCfg(small, "", "S2", sim.Baseline{})
+	resLarge := r.RunCfg(large, "", "S2", sim.Baseline{})
+
+	if resSmall == resLarge {
+		t.Fatal("different configs aliased to one memoised result")
+	}
+	if resSmall.L1.LoadHits == resLarge.L1.LoadHits && resSmall.Cycles == resLarge.Cycles {
+		t.Fatal("8x L1 capacity changed nothing; runs likely aliased")
+	}
+
+	// Same config twice must still memoise (pointer-identical result).
+	if again := r.RunCfg(small, "", "S2", sim.Baseline{}); again != resSmall {
+		t.Fatal("identical config re-ran instead of hitting the memo")
+	}
+}
+
+// TestRunCfgKeyIncludesPolicy guards the rest of the key.
+func TestRunCfgKeyIncludesPolicy(t *testing.T) {
+	r := NewRunner(BenchConfig(), 2)
+	a := r.Run("S2", sim.Baseline{})
+	b := r.Run("BI", sim.Baseline{})
+	if a == b {
+		t.Fatal("different benchmarks aliased")
+	}
+}

@@ -76,3 +76,12 @@ func (l *Link) Deliver(cycle int64) []*memtypes.Request {
 
 // Pending returns the number of in-flight requests.
 func (l *Link) Pending() int { return len(l.q) }
+
+// ForEach visits every in-flight request in unspecified order. Used by the
+// invariant checker to take a census of the memory system; fn must not
+// mutate the link.
+func (l *Link) ForEach(fn func(*memtypes.Request)) {
+	for i := range l.q {
+		fn(l.q[i].req)
+	}
+}

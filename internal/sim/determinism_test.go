@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSeedDeterminismDeep repeats a run and compares the complete collected
+// result — every nested stats block, not a field sample — with
+// reflect.DeepEqual. Any divergence means the engine consulted unordered
+// state (map iteration, address-dependent scheduling) somewhere.
+func TestSeedDeterminismDeep(t *testing.T) {
+	run := func() (*Result, []SMStats) {
+		g, err := New(testConfig(), tinyKernel(200, 16), Baseline{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Run(0)
+		perSM := make([]SMStats, 0, len(g.SMs()))
+		for _, sm := range g.SMs() {
+			perSM = append(perSM, sm.Stats)
+		}
+		return g.Collect(), perSM
+	}
+	resA, smA := run()
+	resB, smB := run()
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("aggregate results diverged across identical runs:\n%+v\n%+v", resA, resB)
+	}
+	if !reflect.DeepEqual(smA, smB) {
+		t.Fatalf("per-SM stats diverged across identical runs:\n%+v\n%+v", smA, smB)
+	}
+}

@@ -44,7 +44,20 @@ type GPU struct {
 
 	nextCTA int
 	cycle   int64
+
+	checker CycleChecker
 }
+
+// CycleChecker observes the GPU at the end of simulated cycles. A non-nil
+// error aborts the simulation by panic: an invariant violation means the
+// engine (or a policy) mis-accounted, and continuing would only produce
+// numbers derived from a broken state. internal/check implements this.
+type CycleChecker interface {
+	CheckCycle(g *GPU, cycle int64) error
+}
+
+// SetChecker installs (or, with nil, removes) the cycle checker.
+func (g *GPU) SetChecker(c CycleChecker) { g.checker = c }
 
 // New builds a GPU run. The config is copied; policies may adjust per-SM
 // structures in Attach.
@@ -165,6 +178,12 @@ func (g *GPU) Step() {
 	// Responses arriving at SMs.
 	for _, req := range g.fromL2.Deliver(cyc) {
 		g.sms[req.SM].handleResponse(req, cyc)
+	}
+
+	if g.checker != nil {
+		if err := g.checker.CheckCycle(g, cyc); err != nil {
+			panic(fmt.Sprintf("sim: invariant violation at cycle %d: %v", cyc, err))
+		}
 	}
 
 	g.cycle++

@@ -1,0 +1,93 @@
+package sim
+
+import "github.com/linebacker-sim/linebacker/internal/memtypes"
+
+// This file exposes read-only views of the engine's in-flight state for the
+// runtime invariant checker (internal/check). None of these methods mutate
+// the simulation; all of them reflect the state between two Step calls.
+
+// ForEachInflight visits every request object currently travelling below
+// the SMs: per-SM outboxes, the SM→L2 link, the L2 input queue, requests
+// parked on L2 MSHRs, the DRAM queues and service stations, and the L2→SM
+// response link. Each live request is visited exactly once.
+func (g *GPU) ForEachInflight(fn func(*memtypes.Request)) {
+	for _, sm := range g.sms {
+		for _, req := range sm.outbox {
+			fn(req)
+		}
+	}
+	g.toL2.ForEach(fn)
+	for _, req := range g.l2Queue {
+		fn(req)
+	}
+	for _, ws := range g.l2Waiters {
+		for _, req := range ws {
+			fn(req)
+		}
+	}
+	g.dram.ForEach(fn)
+	g.fromL2.ForEach(fn)
+}
+
+// L2WaiterLines returns the number of distinct lines with requests merged
+// into an outstanding L2 fill.
+func (g *GPU) L2WaiterLines() int { return len(g.l2Waiters) }
+
+// L2QueueLen returns the occupancy of the L2 input queue.
+func (g *GPU) L2QueueLen() int { return len(g.l2Queue) }
+
+// PendingLoadOps returns the load line-requests waiting in the SM's LSU
+// queue (issued by a warp, not yet presented to the L1).
+func (sm *SM) PendingLoadOps() int {
+	n := 0
+	for i := range sm.lsu {
+		if !sm.lsu[i].isStore {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingStoreOps returns the store line-requests waiting in the LSU queue.
+func (sm *SM) PendingStoreOps() int { return len(sm.lsu) - sm.PendingLoadOps() }
+
+// WaiterLines returns the number of distinct lines with warps waiting on an
+// outstanding L1 fill — by construction equal to the L1's live MSHR count.
+func (sm *SM) WaiterLines() int { return len(sm.waiters) }
+
+// WaiterEntries returns the total warp↦line wait registrations: one per
+// outstanding line request that has gone below the L1.
+func (sm *SM) WaiterEntries() int {
+	n := 0
+	for _, ws := range sm.waiters {
+		n += len(ws)
+	}
+	return n
+}
+
+// HasWaiter reports whether any warp waits on the line.
+func (sm *SM) HasWaiter(line memtypes.LineAddr) bool {
+	_, ok := sm.waiters[line]
+	return ok
+}
+
+// ForEachWaitedLine visits every line some warp of this SM waits on.
+func (sm *SM) ForEachWaitedLine(fn func(line memtypes.LineAddr, waiters int)) {
+	for line, ws := range sm.waiters {
+		fn(line, len(ws))
+	}
+}
+
+// SumMemPending returns the outstanding line requests summed over the SM's
+// warp contexts (the per-warp scoreboard view of the same in-flight work
+// the LSU and waiter structures track).
+func (sm *SM) SumMemPending() int {
+	n := 0
+	for i := range sm.warps {
+		n += sm.warps[i].memPending
+	}
+	return n
+}
+
+// OutboxLen returns the requests queued for hand-off to the interconnect.
+func (sm *SM) OutboxLen() int { return len(sm.outbox) }

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/linebacker-sim/linebacker/internal/check"
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/core"
 	"github.com/linebacker-sim/linebacker/internal/energy"
@@ -186,16 +187,25 @@ func NewScheme(spec string) (Policy, error) {
 }
 
 // New builds a simulation of the kernel under the policy without running it
-// (for callers that want to step or probe).
+// (for callers that want to step or probe). When cfg.Check is set, the
+// runtime invariant checker rides along and any conservation-law violation
+// aborts the run.
 func New(cfg Config, k *Kernel, pol Policy) (*GPU, error) {
-	return sim.New(cfg, k, pol)
+	g, err := sim.New(cfg, k, pol)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Check {
+		check.Attach(g)
+	}
+	return g, nil
 }
 
 // Run simulates the kernel under the policy for the given number of
 // monitoring windows (0 = run the kernel to completion) and collects the
 // result.
 func Run(cfg Config, k *Kernel, pol Policy, windows int) (*Result, error) {
-	g, err := sim.New(cfg, k, pol)
+	g, err := New(cfg, k, pol)
 	if err != nil {
 		return nil, err
 	}
