@@ -1,0 +1,87 @@
+// Command lbvet runs the project's static-analysis suite: the determinism
+// and accounting rules of internal/analysis, enforced over the module at
+// compile time.
+//
+// Usage:
+//
+//	lbvet ./...
+//	lbvet -analyzers maprange,floatsum ./internal/sim ./internal/stats
+//	lbvet -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/linebacker-sim/linebacker/internal/analysis"
+)
+
+// errFindings distinguishes "the code is dirty" (exit 1) from "lbvet could
+// not run" (exit 2).
+var errFindings = errors.New("findings")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "lbvet:", err)
+		os.Exit(2)
+	}
+}
+
+// run is the testable entry point: flag parsing and output against
+// injectable streams, errors returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = fs.Bool("list", false, "list analyzers and exit")
+		dir   = fs.String("dir", ".", "directory to resolve package patterns from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		return errors.New("no packages (try: lbvet ./...)")
+	}
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadPatterns(*dir, patterns)
+	if err != nil {
+		return err
+	}
+
+	diags := analysis.Run(loader.Fset, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lbvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return errFindings
+	}
+	return nil
+}

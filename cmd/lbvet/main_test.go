@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers covers -list output.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range []string{"maprange", "nondeterm", "fingerprint", "statsflow", "floatsum"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanModule is the happy path: a clean module exits 0 (nil error).
+func TestCleanModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-dir", filepath.Join("testdata", "clean"), "./..."}, &out, &errb)
+	if err != nil {
+		t.Fatalf("clean module: %v\nstderr: %s", err, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module printed diagnostics:\n%s", out.String())
+	}
+}
+
+// TestFindingsExitDistinctly: a dirty fixture returns errFindings (exit 1)
+// and prints the diagnostics to stdout.
+func TestFindingsExitDistinctly(t *testing.T) {
+	var out, errb bytes.Buffer
+	dir := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "maprange")
+	err := run([]string{"-dir", dir, "./..."}, &out, &errb)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("dirty module: want errFindings, got %v", err)
+	}
+	if !strings.Contains(out.String(), "maprange") || !strings.Contains(out.String(), "range over map") {
+		t.Errorf("diagnostics not printed:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("summary not printed to stderr: %s", errb.String())
+	}
+}
+
+// TestAnalyzerSubset restricts the run to one analyzer.
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	dir := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "maprange")
+	// nondeterm has nothing to say about the maprange fixture.
+	if err := run([]string{"-dir", dir, "-analyzers", "nondeterm", "./..."}, &out, &errb); err != nil {
+		t.Fatalf("subset run: %v", err)
+	}
+}
+
+// TestErrors covers the non-finding failure modes (exit 2 paths).
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                               // no packages
+		{"-analyzers", "bogus", "./..."}, // unknown analyzer
+		{"-dir", filepath.Join("testdata", "clean"), "./missing"},  // bad package path
+		{"-dir", filepath.Join("testdata", "missingmod"), "./..."}, // nonexistent directory
+		{"-dir", t.TempDir(), "./..."},                             // no go.mod anywhere above
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		err := run(args, &out, &errb)
+		if err == nil || errors.Is(err, errFindings) {
+			t.Errorf("run(%q) = %v, want a hard error", args, err)
+		}
+	}
+}

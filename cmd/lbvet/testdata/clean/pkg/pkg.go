@@ -1,0 +1,5 @@
+// Package pkg is a minimal lbvet-clean module for CLI smoke tests.
+package pkg
+
+// Add is deterministic by construction.
+func Add(a, b int) int { return a + b }

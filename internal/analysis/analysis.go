@@ -1,0 +1,230 @@
+// Package analysis is lbvet: a project-specific static-analysis suite that
+// enforces the simulator's determinism and accounting rules at compile time.
+//
+// The runtime verification subsystem (internal/check) catches
+// nondeterminism and mis-accounting while a simulation runs; the analyzers
+// here reject the *sources* of those bugs before any simulation happens:
+//
+//   - maprange:    unordered map iteration in simulation-state packages
+//   - nondeterm:   wall-clock time, global math/rand and goroutines in the
+//     cycle-level hot paths
+//   - fingerprint: config fields invisible to Validate or the harness memo
+//     key (the PR-1 memo-aliasing bug, made structural)
+//   - statsflow:   counters that are incremented but can never reach
+//     ExtraStats/Result
+//   - floatsum:    order-sensitive float accumulation over map iteration
+//
+// The suite is built directly on the stdlib go/ast + go/types toolchain so
+// the module stays dependency-free. cmd/lbvet is the command-line driver;
+// repo_clean_test.go gates `go test ./...` on a clean repo.
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OrderedDirective is the escape-hatch comment that justifies a map
+// iteration: it asserts that iteration order provably cannot leak into any
+// simulation decision or reported metric. Use sparingly and always with a
+// reason after the directive, e.g.
+//
+//	//lbvet:ordered max over the set is commutative
+const OrderedDirective = "//lbvet:ordered"
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("github.com/.../internal/sim").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+
+	fset *token.FileSet
+	// ordered maps file name -> set of lines carrying OrderedDirective.
+	ordered map[string]map[int]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is the per-run view handed to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Pkg is the package under analysis (nil for whole-program analyzers).
+	Pkg *Package
+	// All holds every loaded package; whole-program analyzers walk this.
+	All []*Package
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Analyzer is one lbvet rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Whole marks analyzers that need a cross-package view (fingerprint);
+	// they run once per load with Pass.Pkg nil.
+	Whole bool
+	Run   func(*Pass)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e in the package under analysis.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Ordered reports whether the node carries an OrderedDirective comment on
+// its own line or the line immediately above.
+func (p *Pass) Ordered(pkg *Package, n ast.Node) bool {
+	pos := p.Fset.Position(n.Pos())
+	lines := pkg.ordered[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRange,
+		NonDeterm,
+		Fingerprint,
+		StatsFlow,
+		FloatSum,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("maprange,floatsum").
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	all := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		all[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := all[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the given analyzers over the loaded packages and returns
+// the findings sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Whole {
+			pass := &Pass{Fset: fset, All: pkgs, analyzer: a, diags: &diags}
+			a.Run(pass)
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Fset: fset, Pkg: pkg, All: pkgs, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// simStatePackages are the cycle-level packages whose state feeds
+// simulation decisions: map iteration order and wall-clock inputs there are
+// correctness bugs (see DESIGN.md "Why map order is a correctness bug").
+var simStatePackages = map[string]bool{
+	"sim":     true,
+	"cache":   true,
+	"schemes": true,
+	"icnt":    true,
+	"dram":    true,
+	"regfile": true,
+	"core":    true,
+}
+
+// accumulationPackages are where metric reduction happens; float summation
+// order there must not depend on map iteration.
+var accumulationPackages = map[string]bool{
+	"stats":  true,
+	"energy": true,
+}
+
+func inSimState(pkg *Package) bool     { return simStatePackages[pkg.Types.Name()] }
+func inAccumulation(pkg *Package) bool { return accumulationPackages[pkg.Types.Name()] }
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// render formats an expression for a diagnostic message.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// mapType returns the map type ranged/indexed, unwrapping pointers.
+func mapType(t types.Type) *types.Map {
+	if t == nil {
+		return nil
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	m, _ := u.(*types.Map)
+	return m
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Fingerprint is the static twin of the PR-1 memo-aliasing fix: every
+// exported field of config.GPU and config.Linebacker must be consumed by
+// both (*Config).Validate and the harness memo-key fingerprint. A field
+// invisible to Validate ships unvalidated; a field invisible to the
+// fingerprint lets two different configurations alias one memoised result
+// — the exact bug class PR 1 fixed at runtime.
+//
+// The harness side accepts either per-field consumption or a whole-struct
+// fingerprint (formatting the full Config value covers every field by
+// construction).
+var Fingerprint = &Analyzer{
+	Name:  "fingerprint",
+	Doc:   "config fields invisible to Validate or the harness memo key",
+	Whole: true,
+	Run:   runFingerprint,
+}
+
+func runFingerprint(pass *Pass) {
+	var cfgPkg, harnessPkg *Package
+	for _, p := range pass.All {
+		switch p.Types.Name() {
+		case "config":
+			if scopeHasStruct(p, "GPU") && scopeHasStruct(p, "Linebacker") {
+				cfgPkg = p
+			}
+		case "harness":
+			harnessPkg = p
+		}
+	}
+	if cfgPkg == nil {
+		return // partial load (e.g. lbvet ./internal/sim): nothing to check
+	}
+
+	watched := map[*types.Struct]string{
+		structOf(cfgPkg, "GPU"):        "GPU",
+		structOf(cfgPkg, "Linebacker"): "Linebacker",
+	}
+
+	// Validate must reference every exported field directly.
+	validate := findFunc(cfgPkg, "Validate", "Config")
+	if validate == nil {
+		pass.Reportf(cfgPkg.Files[0].Name.Pos(),
+			"package config has no (*Config).Validate method to consume GPU/Linebacker fields")
+	} else {
+		used := fieldsReferenced(cfgPkg, validate, watched)
+		reportMissing(pass, watched, used, "not checked by (*Config).Validate: unvalidated configuration ships into runs")
+	}
+
+	if harnessPkg == nil {
+		return
+	}
+	fp := findFunc(harnessPkg, "cfgFingerprint", "")
+	if fp == nil {
+		pass.Reportf(harnessPkg.Files[0].Name.Pos(),
+			"package harness has no cfgFingerprint function: memo keys cannot separate configurations")
+		return
+	}
+	if consumesWholeConfig(harnessPkg, fp, cfgPkg) {
+		return
+	}
+	used := fieldsReferenced(harnessPkg, fp, watched)
+	reportMissing(pass, watched, used, "not part of the harness memo-key fingerprint (cfgFingerprint): two configs differing only here alias one cached result")
+}
+
+func reportMissing(pass *Pass, watched map[*types.Struct]string, used map[types.Object]bool, why string) {
+	for st, name := range watched {
+		if st == nil {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || used[f] {
+				continue
+			}
+			pass.Reportf(f.Pos(), "config field %s.%s is %s", name, f.Name(), why)
+		}
+	}
+}
+
+// scopeHasStruct reports whether the package declares a struct type name.
+func scopeHasStruct(p *Package, name string) bool { return structOf(p, name) != nil }
+
+func structOf(p *Package, name string) *types.Struct {
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	st, _ := obj.Type().Underlying().(*types.Struct)
+	return st
+}
+
+// findFunc returns the declaration of the named function; recv restricts
+// to methods on recv/*recv when non-empty.
+func findFunc(p *Package, name, recv string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			if recv == "" {
+				if fd.Recv == nil {
+					return fd
+				}
+				continue
+			}
+			if fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recv {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsReferenced collects the fields of the watched structs selected
+// anywhere inside fn.
+func fieldsReferenced(p *Package, fn *ast.FuncDecl, watched map[*types.Struct]string) map[types.Object]bool {
+	used := map[types.Object]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel := p.Info.Selections[se]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return true
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if st, ok := recv.Underlying().(*types.Struct); ok {
+			if _, watchedStruct := watched[st]; watchedStruct {
+				used[sel.Obj()] = true
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// consumesWholeConfig reports whether fn passes a full config.Config value
+// (not a pointer) as a call argument — e.g. fmt.Sprintf("%v", *cfg) —
+// which renders every field into the fingerprint by construction.
+func consumesWholeConfig(p *Package, fn *ast.FuncDecl, cfgPkg *Package) bool {
+	cfgObj := cfgPkg.Types.Scope().Lookup("Config")
+	if cfgObj == nil {
+		return false
+	}
+	whole := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || whole {
+			return !whole
+		}
+		for _, arg := range call.Args {
+			t := p.Info.TypeOf(arg)
+			if t != nil && types.Identical(t, cfgObj.Type()) {
+				whole = true
+				return false
+			}
+		}
+		return true
+	})
+	return whole
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatSum flags order-sensitive floating-point accumulation driven by map
+// iteration in the metric-reduction packages (stats, energy). Float
+// addition is not associative: summing the same multiset of values in a
+// different order can produce a different result, so a `sum += x` whose
+// iteration order comes from a map yields run-to-run drift even when every
+// contributing value is identical — exactly what the golden-metrics suite
+// would then flap on. Accumulate in integers, iterate sorted keys (e.g.
+// stats.SortedKeys), or justify with //lbvet:ordered.
+//
+// One refinement keeps the rule precise: `bins[k] += v` where k is the
+// range key of an enclosing map iteration is allowed — each key owns its
+// accumulator, so element order cannot reorder any individual sum.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "order-sensitive float accumulation over map iteration",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(pass *Pass) {
+	if !inAccumulation(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				floatSumWalk(pass, fd.Body, false, map[types.Object]bool{})
+			}
+		}
+	}
+}
+
+// floatSumWalk recurses through the tree tracking whether the current
+// point is (transitively) inside a range over a map, and which range keys
+// introduced by those map loops are in scope.
+func floatSumWalk(pass *Pass, n ast.Node, inMapRange bool, keys map[types.Object]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.RangeStmt:
+			inner := inMapRange
+			innerKeys := keys
+			if mapType(pass.TypeOf(m.X)) != nil && !pass.Ordered(pass.Pkg, m) {
+				inner = true
+				if id, ok := m.Key.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						innerKeys = map[types.Object]bool{obj: true}
+						for k := range keys {
+							innerKeys[k] = true
+						}
+					}
+				}
+			}
+			floatSumWalk(pass, m.Body, inner, innerKeys)
+			return false
+		case *ast.FuncLit:
+			// A closure body establishes its own iteration context.
+			floatSumWalk(pass, m.Body, false, map[types.Object]bool{})
+			return false
+		case *ast.AssignStmt:
+			if !inMapRange {
+				return true
+			}
+			if m.Tok != token.ADD_ASSIGN && m.Tok != token.SUB_ASSIGN && m.Tok != token.MUL_ASSIGN {
+				return true
+			}
+			if len(m.Lhs) != 1 || !isFloat(pass.TypeOf(m.Lhs[0])) || pass.Ordered(pass.Pkg, m) {
+				return true
+			}
+			if keyedBin(pass, m.Lhs[0], keys) {
+				return true
+			}
+			pass.Reportf(m.Pos(),
+				"float accumulation into %s under map iteration: float addition is not associative, so map order leaks into the value; accumulate integers or iterate sorted keys",
+				render(pass.Fset, m.Lhs[0]))
+		}
+		return true
+	})
+}
+
+// keyedBin reports whether lhs is an index expression keyed by the range
+// key of an enclosing map loop (per-key accumulators are order-safe).
+func keyedBin(pass *Pass, lhs ast.Expr, keys map[types.Object]bool) bool {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	return obj != nil && keys[obj]
+}

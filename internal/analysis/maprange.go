@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `range` over a map inside simulation-state packages. Go
+// randomises map iteration order per run; any order that reaches a
+// cycle-level decision or a reported metric breaks seed determinism (the
+// property internal/check's golden and differential suites rely on).
+//
+// An iteration is accepted without a directive when it provably cannot
+// leak order:
+//
+//   - the body only accumulates integers (counts, sums of len()) — integer
+//     addition is commutative and associative;
+//   - the loop only collects keys/values into a slice that is sorted by a
+//     sort.* / slices.Sort* call later in the same block;
+//   - the loop only deletes entries from a map.
+//
+// Anything else needs either sorted keys (e.g. stats.SortedKeys) or an
+// `//lbvet:ordered <reason>` directive on or directly above the loop.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "unordered map iteration in simulation-state packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !inSimState(pass.Pkg) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if mapType(pass.TypeOf(rng.X)) == nil {
+					continue
+				}
+				if pass.Ordered(pass.Pkg, rng) {
+					continue
+				}
+				if orderInsensitiveBody(pass, rng.Body) {
+					continue
+				}
+				if collectThenSort(pass, rng, block.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(rng.Pos(),
+					"range over map %s: iteration order is runtime-random and may leak into simulation state; sort the keys or justify with %s",
+					render(pass.Fset, rng.X), OrderedDirective)
+			}
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body is
+// a commutative integer accumulation or a map delete, optionally nested in
+// if statements (guards select which elements contribute, not in which
+// order).
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt) bool {
+	var ok func(ast.Stmt) bool
+	ok = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return isInteger(pass.TypeOf(s.X))
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN:
+				return isInteger(pass.TypeOf(s.Lhs[0])) && sideEffectFree(pass, s.Rhs[0])
+			}
+			return false
+		case *ast.ExprStmt:
+			call, isCall := s.X.(*ast.CallExpr)
+			if !isCall {
+				return false
+			}
+			id, isIdent := call.Fun.(*ast.Ident)
+			return isIdent && isBuiltin(pass, id, "delete")
+		case *ast.IfStmt:
+			if s.Init != nil || s.Cond == nil || !sideEffectFree(pass, s.Cond) {
+				return false
+			}
+			for _, inner := range s.Body.List {
+				if !ok(inner) {
+					return false
+				}
+			}
+			if s.Else != nil {
+				els, isBlock := s.Else.(*ast.BlockStmt)
+				if !isBlock {
+					return false
+				}
+				for _, inner := range els.List {
+					if !ok(inner) {
+						return false
+					}
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range body.List {
+		if !ok(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether id resolves to the named predeclared builtin
+// (and is not shadowed by a package-level declaration).
+func isBuiltin(pass *Pass, id *ast.Ident, name string) bool {
+	b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// sideEffectFree reports whether the expression contains no calls other
+// than len/cap (so evaluating it per element cannot observe order).
+func sideEffectFree(pass *Pass, e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			if b, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if name := b.Name(); name == "len" || name == "cap" {
+					return true
+				}
+			}
+		}
+		free = false
+		return false
+	})
+	return free
+}
+
+// collectThenSort accepts the canonical sort pattern: the body only appends
+// to slices, and each appended-to slice is passed to a sort call in one of
+// the following statements of the same block.
+func collectThenSort(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	var targets []types.Object
+	for _, s := range rng.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || !isBuiltin(pass, fn, "append") {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	for _, obj := range targets {
+		if !sortedLater(pass, obj, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater scans the statements after the loop for a sort.*/slices.*
+// call mentioning obj.
+func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if name := pn.Imported().Path(); name != "sort" && name != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentioned := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+						mentioned = true
+						return false
+					}
+					return true
+				})
+				if mentioned {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

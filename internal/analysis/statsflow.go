@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatsFlow is the static twin of the runtime checker's accounting
+// identity: a counter that is incremented but never read can never reach
+// ExtraStats, an accessor, or a Result aggregation — the event it counts
+// is silently lost to every report. Each such field in a simulation-state
+// package is either dead weight or (worse) a metric someone believes is
+// being exported.
+//
+// A field counts as a counter when it is an unexported numeric field of a
+// package-local struct and some statement `x.f++` / `x.f += e` bumps it.
+// Any read — in ExtraStats, an accessor, an invariant check, a plain
+// expression — discharges the obligation; only write-only counters are
+// flagged.
+var StatsFlow = &Analyzer{
+	Name: "statsflow",
+	Doc:  "counters incremented but never exported via ExtraStats/Result",
+	Run:  runStatsFlow,
+}
+
+func runStatsFlow(pass *Pass) {
+	if !inSimState(pass.Pkg) {
+		return
+	}
+
+	// First pass: classify every selector node that is the target of an
+	// increment or plain store, so the read scan below can skip them.
+	incremented := map[types.Object]bool{} // counter fields bumped somewhere
+	writeNodes := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if se, ok := n.X.(*ast.SelectorExpr); ok {
+					writeNodes[se] = true
+					if obj := localCounterField(pass, se); obj != nil && n.Tok == token.INC {
+						incremented[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					se, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					switch n.Tok {
+					case token.ADD_ASSIGN:
+						writeNodes[se] = true
+						if obj := localCounterField(pass, se); obj != nil {
+							incremented[obj] = true
+						}
+					case token.ASSIGN, token.DEFINE:
+						// A plain store resets the field; it is a write,
+						// not an export.
+						writeNodes[se] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(incremented) == 0 {
+		return
+	}
+
+	// Second pass: any selector of the field that is not a write is a read.
+	read := map[types.Object]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok || writeNodes[se] {
+				return true
+			}
+			if obj := localCounterField(pass, se); obj != nil {
+				read[obj] = true
+			}
+			return true
+		})
+	}
+
+	for obj := range incremented {
+		if read[obj] {
+			continue
+		}
+		pass.Reportf(obj.Pos(),
+			"counter %s is incremented but never read: the events it counts can never reach ExtraStats or a Result aggregation",
+			obj.Name())
+	}
+}
+
+// localCounterField resolves se to an unexported numeric field of a struct
+// type declared in the package under analysis.
+func localCounterField(pass *Pass, se *ast.SelectorExpr) types.Object {
+	sel := pass.Pkg.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	obj := sel.Obj()
+	if obj.Exported() || obj.Pkg() != pass.Pkg.Types {
+		return nil
+	}
+	if !isInteger(obj.Type()) && !isFloat(obj.Type()) {
+		return nil
+	}
+	return obj
+}

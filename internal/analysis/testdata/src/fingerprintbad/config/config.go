@@ -1,0 +1,29 @@
+// Package config mimics the real config package with holes the
+// fingerprint analyzer must find.
+package config
+
+import "errors"
+
+type GPU struct {
+	NumSMs int
+	Unseen int // want `GPU\.Unseen is not checked by .*Validate`
+}
+
+type Linebacker struct {
+	WindowCycles int // want `Linebacker\.WindowCycles is not part of the harness memo-key fingerprint`
+}
+
+type Config struct {
+	GPU GPU
+	LB  Linebacker
+}
+
+func (c *Config) Validate() error {
+	if c.GPU.NumSMs <= 0 {
+		return errors.New("NumSMs")
+	}
+	if c.LB.WindowCycles <= 0 {
+		return errors.New("WindowCycles")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module fingerprintbad
+
+go 1.22

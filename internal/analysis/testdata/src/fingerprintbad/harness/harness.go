@@ -1,0 +1,13 @@
+// Package harness builds a memo key field-by-field and forgets some:
+// exactly the PR-1 aliasing bug the fingerprint analyzer prevents.
+package harness
+
+import (
+	"fmt"
+
+	"fingerprintbad/config"
+)
+
+func cfgFingerprint(cfg *config.Config) string {
+	return fmt.Sprintf("%d|%d", cfg.GPU.NumSMs, cfg.GPU.Unseen)
+}

@@ -1,0 +1,29 @@
+// Package config is the clean twin of fingerprintbad: every exported
+// field is validated, and the harness fingerprints the whole struct.
+package config
+
+import "errors"
+
+type GPU struct {
+	NumSMs   int
+	ClockMHz int
+}
+
+type Linebacker struct {
+	WindowCycles int
+}
+
+type Config struct {
+	GPU GPU
+	LB  Linebacker
+}
+
+func (c *Config) Validate() error {
+	if c.GPU.NumSMs <= 0 || c.GPU.ClockMHz <= 0 {
+		return errors.New("gpu")
+	}
+	if c.LB.WindowCycles <= 0 {
+		return errors.New("lb")
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module fingerprintgood
+
+go 1.22

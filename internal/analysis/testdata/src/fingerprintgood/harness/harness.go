@@ -1,0 +1,13 @@
+// Package harness fingerprints the whole Config value: every field —
+// present and future — is part of the memo key by construction.
+package harness
+
+import (
+	"fmt"
+
+	"fingerprintgood/config"
+)
+
+func cfgFingerprint(cfg *config.Config) string {
+	return fmt.Sprintf("%v", *cfg)
+}

@@ -1,0 +1,3 @@
+module floatsum
+
+go 1.22

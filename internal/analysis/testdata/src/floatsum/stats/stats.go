@@ -1,0 +1,75 @@
+// Package stats exercises the floatsum analyzer: the package name puts it
+// in the metric-reduction scope.
+package stats
+
+import "sort"
+
+// Bad sums floats in map order.
+func Bad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation into total under map iteration`
+	}
+	return total
+}
+
+// BadNested accumulates floats in a slice loop nested under a map range:
+// the outer order still reorders the additions.
+func BadNested(m map[int][]float64, sums map[int]float64) float64 {
+	grand := 0.0
+	for k, vs := range m {
+		for _, v := range vs {
+			grand += v // want `float accumulation into grand under map iteration`
+			sums[k] += v
+		}
+	}
+	return grand
+}
+
+// IntCounts is exact arithmetic: integers commute.
+func IntCounts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SortedFirst iterates a sorted key slice: the canonical fix.
+func SortedFirst(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Justified carries the escape hatch.
+func Justified(m map[string]float64) float64 {
+	total := 0.0
+	//lbvet:ordered all values are exact powers of two in tests
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FuncLitResets ensures closures reset the in-map-range state.
+func FuncLitResets(m map[string]float64, xs []float64) func() float64 {
+	var f func() float64
+	for range m {
+		f = func() float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += x
+			}
+			return s
+		}
+	}
+	return f
+}

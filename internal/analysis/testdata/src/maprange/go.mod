@@ -1,0 +1,3 @@
+module maprange
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package outofscope is not a simulation-state package: maprange must
+// leave it alone.
+package outofscope
+
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,93 @@
+// Package sim exercises the maprange analyzer: the package name puts it in
+// the simulation-state scope.
+package sim
+
+import "sort"
+
+type engine struct {
+	waiters map[uint64][]int
+	scores  map[string]float64
+}
+
+// bad ranges a map and lets order reach state.
+func (e *engine) bad(out *[]int) {
+	for _, ws := range e.waiters { // want `range over map e\.waiters`
+		*out = append(*out, ws...)
+	}
+}
+
+// badReturn leaks order through an early exit on a value condition.
+func (e *engine) badReturn() int {
+	for k, ws := range e.waiters { // want `range over map e\.waiters`
+		if len(ws) > 2 {
+			return int(k)
+		}
+	}
+	return -1
+}
+
+// countOnly is order-insensitive integer accumulation: allowed.
+func (e *engine) countOnly() int {
+	n := 0
+	for _, ws := range e.waiters {
+		n += len(ws)
+	}
+	return n
+}
+
+// guardedCount keeps the accumulation under a side-effect-free guard.
+func (e *engine) guardedCount() int {
+	n := 0
+	for _, ws := range e.waiters {
+		if len(ws) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// collectSort gathers keys and sorts them before use: allowed.
+func (e *engine) collectSort() []uint64 {
+	keys := make([]uint64, 0, len(e.waiters))
+	for k := range e.waiters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// collectNoSort gathers keys but never sorts: flagged.
+func (e *engine) collectNoSort() []uint64 {
+	var keys []uint64
+	for k := range e.waiters { // want `range over map e\.waiters`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// justifiedTrailing carries the directive on the loop line.
+func (e *engine) justifiedTrailing() {
+	for k := range e.waiters { //lbvet:ordered clearing the whole map is order-free
+		e.waiters[k] = nil
+	}
+}
+
+// justifiedAbove carries a multi-line justification ending just above.
+func (e *engine) justifiedAbove() float64 {
+	best := 0.0
+	//lbvet:ordered max over the score set is commutative, so the
+	// result cannot depend on visit order.
+	for _, s := range e.scores {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// deleteAll only deletes entries: allowed.
+func (e *engine) deleteAll(dead map[uint64]bool) {
+	for k := range dead {
+		delete(e.waiters, k)
+	}
+}

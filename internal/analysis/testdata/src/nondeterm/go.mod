@@ -1,0 +1,3 @@
+module nondeterm
+
+go 1.22

@@ -1,0 +1,38 @@
+// Package dram exercises the statsflow analyzer: the package name puts it
+// in the simulation-state scope.
+package dram
+
+type bank struct {
+	hits     int64
+	drops    int64   // want `counter drops is incremented but never read`
+	lost     float64 // want `counter lost is incremented but never read`
+	cursor   int
+	Exported int64
+}
+
+func (b *bank) access(hit bool, weight float64) {
+	if hit {
+		b.hits++
+	} else {
+		b.drops++
+		b.lost += weight
+	}
+	// Exported fields are readable by other packages: out of scope.
+	b.Exported++
+	// cursor is incremented and read below: a live counter.
+	b.cursor++
+}
+
+func (b *bank) stats() map[string]float64 {
+	return map[string]float64{
+		"dram_hits":   float64(b.hits),
+		"dram_cursor": float64(b.cursor),
+	}
+}
+
+func (b *bank) reset() {
+	// Plain stores are writes, not exports: they must not discharge the
+	// read obligation of drops/lost.
+	b.drops = 0
+	b.lost = 0
+}

@@ -1,0 +1,3 @@
+module statsflow
+
+go 1.22

@@ -243,22 +243,41 @@ func (c *Config) Validate() error {
 	switch {
 	case g.NumSMs <= 0:
 		return errors.New("config: NumSMs must be positive")
+	case g.ClockMHz <= 0:
+		return errors.New("config: ClockMHz must be positive")
 	case g.SIMDWidth <= 0:
 		return errors.New("config: SIMDWidth must be positive")
-	case g.MaxWarpsPerSM <= 0 || g.MaxCTAsPerSM <= 0:
+	case g.MaxThreadsPerSM <= 0 || g.MaxWarpsPerSM <= 0 || g.MaxCTAsPerSM <= 0:
 		return errors.New("config: residency limits must be positive")
+	case g.SharedMemBytes < 0:
+		return errors.New("config: SharedMemBytes must be non-negative")
 	case g.RegFileBytes%LineSize != 0:
 		return fmt.Errorf("config: RegFileBytes %d not a multiple of line size", g.RegFileBytes)
 	case g.L1Bytes%(LineSize*g.L1Ways) != 0:
 		return fmt.Errorf("config: L1 %d B not divisible into %d-way 128 B sets", g.L1Bytes, g.L1Ways)
+	case g.L1MSHRs <= 0:
+		return errors.New("config: L1MSHRs must be positive")
+	case g.L1HitLatency <= 0:
+		return errors.New("config: L1HitLatency must be positive")
 	case g.L2Bytes%(LineSize*g.L2Ways) != 0:
 		return fmt.Errorf("config: L2 %d B not divisible into %d-way 128 B sets", g.L2Bytes, g.L2Ways)
+	case g.L2Latency <= 0:
+		return errors.New("config: L2Latency must be positive")
+	case g.DRAMBandwidthGBs <= 0:
+		return errors.New("config: DRAMBandwidthGBs must be positive")
+	case g.DRAMChannels <= 0 || g.DRAMBanksPerChan <= 0:
+		return errors.New("config: DRAM geometry must be positive")
 	case g.NumSchedulers <= 0:
 		return errors.New("config: NumSchedulers must be positive")
 	case g.RegFileBanks <= 0:
 		return errors.New("config: RegFileBanks must be positive")
+	case g.IssueWidth <= 0:
+		return errors.New("config: IssueWidth must be positive")
 	case g.MaxWarpMLP <= 0:
 		return errors.New("config: MaxWarpMLP must be positive")
+	}
+	if err := g.DRAM.validate(); err != nil {
+		return err
 	}
 	l := &c.LB
 	switch {
@@ -266,6 +285,12 @@ func (c *Config) Validate() error {
 		return errors.New("config: WindowCycles must be positive")
 	case l.VTTWays <= 0 || l.VTTWays > 32:
 		return fmt.Errorf("config: VTTWays %d out of range [1,32]", l.VTTWays)
+	case l.MaxPartitions <= 0:
+		return errors.New("config: MaxPartitions must be positive")
+	case l.VPAccessLatency < 0:
+		return errors.New("config: VPAccessLatency must be non-negative")
+	case l.MaxMonitorWindows <= 0:
+		return errors.New("config: MaxMonitorWindows must be positive")
 	case l.HitThreshold < 0 || l.HitThreshold > 1:
 		return fmt.Errorf("config: HitThreshold %v out of [0,1]", l.HitThreshold)
 	case l.IPCVarUpper < l.IPCVarLower:
@@ -279,6 +304,23 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckEvery < 0 {
 		return errors.New("config: CheckEvery must be non-negative")
+	}
+	return nil
+}
+
+// validate rejects non-positive DRAM timing parameters: a zero timing
+// collapses the bank state machine into zero-cycle transitions.
+func (t *DRAMTiming) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"RCD", t.RCD}, {"RP", t.RP}, {"RC", t.RC}, {"RRD", t.RRD},
+		{"CL", t.CL}, {"WR", t.WR}, {"RAS", t.RAS},
+	} {
+		if p.v <= 0 {
+			return fmt.Errorf("config: DRAM timing %s must be positive", p.name)
+		}
 	}
 	return nil
 }

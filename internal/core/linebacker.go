@@ -658,6 +658,8 @@ func sameSet(a, b map[uint32]bool) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	//lbvet:ordered set equality: the conjunction over members is
+	// commutative, so the answer cannot depend on visit order.
 	for k := range a {
 		if !b[k] {
 			return false

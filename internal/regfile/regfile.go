@@ -82,6 +82,9 @@ func (rf *RegFile) Alloc(ctaSlot, count int) (first int, ok bool) {
 	next := 0
 	for {
 		conflict := false
+		//lbvet:ordered fixpoint: the pass repeats until conflict-free and
+		// `next` only grows, so the final placement is the lowest feasible
+		// offset regardless of visit order.
 		for _, a := range rf.allocs {
 			if next < a.first+a.count && a.first < next+count {
 				conflict = true
@@ -125,6 +128,7 @@ func (rf *RegFile) Range(ctaSlot int) (first, count int, ok bool) {
 // -1 when empty — the paper's LRN used to gate VTT partition activation.
 func (rf *RegFile) LargestLiveRN() int {
 	lrn := -1
+	//lbvet:ordered max over the allocation set is commutative.
 	for _, a := range rf.allocs {
 		if last := a.first + a.count - 1; last > lrn {
 			lrn = last

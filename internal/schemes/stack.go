@@ -6,6 +6,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/cache"
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/stats"
 )
 
 // Stack composes policies (for the Figure 15 combinations: PCAL+CERF,
@@ -154,8 +155,11 @@ func (s *stackState) ExtraStats() map[string]float64 {
 	out := map[string]float64{}
 	for _, p := range s.ps {
 		if es, ok := p.(sim.ExtraStatser); ok {
-			for k, v := range es.ExtraStats() {
-				out[k] += v
+			// Sorted keys: members may export overlapping keys, and the
+			// float merge must happen in one fixed order across runs.
+			ex := es.ExtraStats()
+			for _, k := range stats.SortedKeys(ex) {
+				out[k] += ex[k]
 			}
 		}
 	}

@@ -1,6 +1,9 @@
 package sim
 
-import "github.com/linebacker-sim/linebacker/internal/memtypes"
+import (
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/stats"
+)
 
 // This file exposes read-only views of the engine's in-flight state for the
 // runtime invariant checker (internal/check). None of these methods mutate
@@ -20,8 +23,11 @@ func (g *GPU) ForEachInflight(fn func(*memtypes.Request)) {
 	for _, req := range g.l2Queue {
 		fn(req)
 	}
-	for _, ws := range g.l2Waiters {
-		for _, req := range ws {
+	// Sorted keys: the visit order of merged waiters must not depend on
+	// map order — fn may fold the requests into anything, including
+	// order-sensitive aggregates.
+	for _, line := range stats.SortedKeys(g.l2Waiters) {
+		for _, req := range g.l2Waiters[line] {
 			fn(req)
 		}
 	}
@@ -71,10 +77,11 @@ func (sm *SM) HasWaiter(line memtypes.LineAddr) bool {
 	return ok
 }
 
-// ForEachWaitedLine visits every line some warp of this SM waits on.
+// ForEachWaitedLine visits every line some warp of this SM waits on, in
+// ascending line order so the visit sequence is deterministic.
 func (sm *SM) ForEachWaitedLine(fn func(line memtypes.LineAddr, waiters int)) {
-	for line, ws := range sm.waiters {
-		fn(line, len(ws))
+	for _, line := range stats.SortedKeys(sm.waiters) {
+		fn(line, len(sm.waiters[line]))
 	}
 }
 

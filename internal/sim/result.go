@@ -4,6 +4,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/cache"
 	"github.com/linebacker-sim/linebacker/internal/dram"
 	"github.com/linebacker-sim/linebacker/internal/regfile"
+	"github.com/linebacker-sim/linebacker/internal/stats"
 )
 
 // ExtraStatser is implemented by SM policies that export scheme-specific
@@ -95,8 +96,11 @@ func (g *GPU) Collect() *Result {
 	n := float64(len(g.smpols))
 	for _, p := range g.smpols {
 		if es, ok := p.(ExtraStatser); ok {
-			for k, v := range es.ExtraStats() {
-				r.Extra[k] += v / n
+			// Sorted keys keep the float accumulation into Extra in one
+			// fixed order across runs (map order would reorder the sums).
+			ex := es.ExtraStats()
+			for _, k := range stats.SortedKeys(ex) {
+				r.Extra[k] += ex[k] / n
 			}
 		}
 	}

@@ -4,11 +4,26 @@
 package stats
 
 import (
+	"cmp"
 	"math"
 	"sort"
 
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 )
+
+// SortedKeys returns the map's keys in ascending order. It is the
+// project-wide idiom for deterministic map iteration: Go randomises map
+// order per run, so any iteration that feeds simulation state or a
+// reported metric must go through a sorted key slice (see DESIGN.md and
+// the lbvet maprange rule).
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // GeoMean returns the geometric mean of positive values; zero/negative
 // values are skipped. It returns 0 for an empty input.
@@ -71,11 +86,15 @@ type LoadProbe struct {
 	sums map[uint32]*probeSums
 }
 
+// probeSums accumulates in integers: every contribution is a whole count
+// or a whole line's bytes, and integer addition is commutative, so the
+// running sums are exact and independent of map iteration order (floats
+// would make the total order-sensitive — the lbvet floatsum rule).
 type probeSums struct {
-	accesses    float64
-	reusedBytes float64
-	uniqueBytes float64
-	reaccesses  float64
+	accesses    int64
+	reusedBytes int64
+	uniqueBytes int64
+	reaccesses  int64
 	windows     int
 }
 
@@ -111,11 +130,11 @@ func (p *LoadProbe) rollover() {
 			p.sums[pc] = s
 		}
 		for _, n := range lines {
-			s.accesses += float64(n)
+			s.accesses += int64(n)
 			s.uniqueBytes += memtypes.LineSize
 			if n >= 2 {
 				s.reusedBytes += memtypes.LineSize
-				s.reaccesses += float64(n - 1)
+				s.reaccesses += int64(n - 1)
 			}
 		}
 		s.windows++
@@ -136,10 +155,10 @@ func (p *LoadProbe) Results() []LoadStats {
 		w := float64(s.windows)
 		out = append(out, LoadStats{
 			PC:             pc,
-			AvgAccesses:    s.accesses / w,
-			AvgReusedBytes: s.reusedBytes / w,
-			AvgUniqueBytes: s.uniqueBytes / w,
-			ReaccessRatio:  s.reaccesses / s.accesses,
+			AvgAccesses:    float64(s.accesses) / w,
+			AvgReusedBytes: float64(s.reusedBytes) / w,
+			AvgUniqueBytes: float64(s.uniqueBytes) / w,
+			ReaccessRatio:  float64(s.reaccesses) / float64(s.accesses),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
