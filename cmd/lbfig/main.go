@@ -17,14 +17,12 @@ import (
 	"io"
 	"os"
 
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
 	"github.com/linebacker-sim/linebacker/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "lbfig:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Exit(os.Stderr, "lbfig", run(os.Args[1:], os.Stdout, os.Stderr)))
 }
 
 // run is the testable entry point: flag parsing and output against
@@ -42,9 +40,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		svg     = fs.Bool("svg", false, "additionally render each experiment as an SVG chart")
 		outDir  = fs.String("out", "artifacts", "directory for -svg output")
 		windows = fs.Int("windows", 16, "run length in monitoring windows")
+		timeout = fs.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.WrapParse(err)
 	}
 
 	if *list {
@@ -59,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg = harness.PaperConfig()
 	}
 	r := harness.NewRunner(cfg, *windows)
+	r.Timeout = *timeout
 
 	emit := func(t *harness.Table) error {
 		switch {
@@ -92,10 +92,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	// Experiments run under the harness's fault barrier: a failed point
+	// surfaces as a *harness.RunError (with its diagnostic snapshot) on
+	// stderr and exit status 1 instead of a crashed process.
 	switch {
 	case *all:
 		for _, e := range harness.Experiments() {
-			if err := emit(e.Run(r)); err != nil {
+			tab, err := e.RunSafe(r)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if err := emit(tab); err != nil {
 				return err
 			}
 		}
@@ -103,11 +110,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *fig != "":
 		e, ok := harness.ExperimentByID(*fig)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", *fig)
+			return cliutil.Usagef("unknown experiment %q (use -list)", *fig)
 		}
-		return emit(e.Run(r))
+		tab, err := e.RunSafe(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return emit(tab)
 	default:
 		fs.Usage()
-		return fmt.Errorf("one of -fig, -all, -list required")
+		return cliutil.Usagef("one of -fig, -all, -list required")
 	}
 }

@@ -10,19 +10,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
+	"time"
 
 	"github.com/linebacker-sim/linebacker"
+	"github.com/linebacker-sim/linebacker/internal/chaos"
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
+	"github.com/linebacker-sim/linebacker/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Exit(os.Stderr, "lbsim", run(os.Args[1:], os.Stdout, os.Stderr)))
 }
 
 // run is the testable entry point: flag parsing and output against
@@ -41,9 +44,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceFile  = fs.String("trace", "", "replay a recorded memory trace instead of -bench")
 		recordFile = fs.String("record", "", "record the run's memory trace to a file")
 		checkFlag  = fs.Bool("check", false, "sweep runtime conservation invariants every cycle; abort on violation")
+		timeout    = fs.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
+		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 or stall-dram:2000 (see internal/chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.WrapParse(err)
 	}
 
 	if *list {
@@ -93,14 +98,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		b, ok := linebacker.Benchmark(*bench)
 		if !ok {
-			return fmt.Errorf("unknown benchmark %q (use -list)", *bench)
+			return cliutil.Usagef("unknown benchmark %q (use -list)", *bench)
 		}
 		kernel = b.Kernel
 		title = fmt.Sprintf("%s (%s)", b.Name, b.Desc)
 	}
 	pol, err := linebacker.NewScheme(*scheme)
 	if err != nil {
-		return err
+		return cliutil.Usagef("%v", err)
 	}
 
 	cfg := linebacker.FastConfig()
@@ -108,7 +113,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg = linebacker.DefaultConfig()
 	}
 	cfg.Check = *checkFlag
-	res, err := runKernel(cfg, kernel, pol, *windows, *timeline, *recordFile, stdout, stderr)
+	if cfg.Chaos, err = chaos.ParseSpec(*chaosSpec); err != nil {
+		return cliutil.Usagef("%v", err)
+	}
+	res, err := runKernel(cfg, kernel, pol, *windows, *timeout, *timeline, *recordFile, stdout, stderr)
 	if err != nil {
 		return err
 	}
@@ -145,14 +153,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // runKernel runs with optional per-window IPC timeline output and optional
-// trace recording.
-func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Policy, windows int, timeline bool, recordFile string, stdout, stderr io.Writer) (*linebacker.Result, error) {
-	if !timeline && recordFile == "" {
-		return linebacker.Run(cfg, k, pol, windows)
+// trace recording. The run executes under a recovery barrier: a panic
+// (chaos-injected or an engine bug) comes back as a *harness.RunError with
+// the machine-state snapshot, and the process exits 1 instead of crashing.
+func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Policy, windows int, timeout time.Duration, timeline bool, recordFile string, stdout, stderr io.Writer) (res *linebacker.Result, err error) {
+	g, gerr := linebacker.New(cfg, k, pol)
+	if gerr != nil {
+		return nil, fmt.Errorf("%w: %w", harness.ErrBadConfig, gerr)
 	}
-	g, err := linebacker.New(cfg, k, pol)
-	if err != nil {
-		return nil, err
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, &harness.RunError{
+				Bench: k.Name, Policy: pol.Name(), Phase: harness.PhaseRun,
+				Cycle: g.Cycle(), Snapshot: g.StateDump(), Stack: string(debug.Stack()),
+				Err: fmt.Errorf("%w: %v", harness.ErrPanic, p),
+			}
+		}
+	}()
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout, harness.ErrTimeout)
+		defer cancel()
 	}
 	if recordFile != "" {
 		f, err := os.Create(recordFile)
@@ -169,14 +191,24 @@ func runKernel(cfg linebacker.Config, k *linebacker.Kernel, pol linebacker.Polic
 		}()
 	}
 	if !timeline {
-		g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+		if _, err := g.RunCtx(ctx, int64(windows)*int64(cfg.LB.WindowCycles)); err != nil {
+			return nil, &harness.RunError{
+				Bench: k.Name, Policy: pol.Name(), Phase: harness.PhaseRun,
+				Cycle: g.Cycle(), Snapshot: g.StateDump(), Err: err,
+			}
+		}
 		return g.Collect(), nil
 	}
 	win := int64(cfg.LB.WindowCycles)
 	var prevRetired int64
 	fmt.Fprintln(stdout, "window  IPC      bar")
 	for w := 1; w <= windows; w++ {
-		g.Run(int64(w) * win)
+		if _, err := g.RunCtx(ctx, int64(w)*win); err != nil {
+			return nil, &harness.RunError{
+				Bench: k.Name, Policy: pol.Name(), Phase: harness.PhaseRun,
+				Cycle: g.Cycle(), Snapshot: g.StateDump(), Err: err,
+			}
+		}
 		var retired int64
 		for _, sm := range g.SMs() {
 			retired += sm.Retired()

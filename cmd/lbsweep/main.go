@@ -1,30 +1,41 @@
 // Command lbsweep runs parameter sweeps: static CTA limits (Best-SWL
 // search), L1 cache sizes, and VTT partition associativities.
 //
+// Sweeps execute on the fault-tolerant harness runner: every point runs
+// under panic isolation with an optional wall-clock timeout, and with
+// -journal the completed points checkpoint to a JSONL file — re-running
+// the same command after an interruption re-simulates only the missing
+// points.
+//
 // Usage:
 //
 //	lbsweep -mode swl -bench S2
 //	lbsweep -mode cache -bench BI -scheme linebacker
 //	lbsweep -mode vtt -bench BC
+//	lbsweep -mode swl -bench KM -journal sweep.jsonl   # resumable
+//
+// Exit status: 0 ok, 1 run failure, 2 usage error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/linebacker-sim/linebacker"
+	"github.com/linebacker-sim/linebacker/internal/chaos"
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
 	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/harness"
 	"github.com/linebacker-sim/linebacker/internal/schemes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "lbsweep:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Exit(os.Stderr, "lbsweep", run(os.Args[1:], os.Stdout, os.Stderr)))
 }
 
 // run is the testable entry point: flag parsing and output against
@@ -33,27 +44,57 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mode    = fs.String("mode", "swl", "sweep: swl | cache | vtt")
-		bench   = fs.String("bench", "S2", "benchmark code")
-		scheme  = fs.String("scheme", "linebacker", "scheme for the cache sweep")
-		windows = fs.Int("windows", 16, "run length in monitoring windows")
-		paper   = fs.Bool("paper", false, "full Table 1 scale")
+		mode      = fs.String("mode", "swl", "sweep: swl | cache | vtt")
+		bench     = fs.String("bench", "S2", "benchmark code")
+		scheme    = fs.String("scheme", "linebacker", "scheme for the cache sweep")
+		windows   = fs.Int("windows", 16, "run length in monitoring windows")
+		paper     = fs.Bool("paper", false, "full Table 1 scale")
+		timeout   = fs.Duration("timeout", 0, "wall-clock limit per point (0 = none)")
+		journal   = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
+		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.WrapParse(err)
 	}
 
 	b, ok := linebacker.Benchmark(*bench)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q", *bench)
+		return cliutil.Usagef("unknown benchmark %q", *bench)
 	}
 	cfg := linebacker.FastConfig()
 	if *paper {
 		cfg = linebacker.DefaultConfig()
 	}
+	var err error
+	if cfg.Chaos, err = chaos.ParseSpec(*chaosSpec); err != nil {
+		return cliutil.Usagef("%v", err)
+	}
 
-	runOne := func(cfg linebacker.Config, pol linebacker.Policy) (*linebacker.Result, error) {
-		return linebacker.Run(cfg, b.Kernel, pol, *windows)
+	r := harness.NewRunner(cfg, *windows)
+	r.Timeout = *timeout
+	r.WatchdogTick = 10 * time.Second
+	if *journal != "" {
+		j, err := harness.OpenJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := j.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "lbsweep: journal:", cerr)
+			}
+		}()
+		for _, w := range j.Warnings() {
+			fmt.Fprintln(stderr, "lbsweep: journal:", w)
+		}
+		if j.Len() > 0 {
+			fmt.Fprintf(stderr, "lbsweep: journal %s: resuming past %d completed point(s)\n", *journal, j.Len())
+		}
+		r.AttachJournal(j)
+	}
+
+	ctx := context.Background()
+	runOne := func(cfg linebacker.Config, cfgKey string, pol linebacker.Policy) (*linebacker.Result, error) {
+		return r.RunCfg(ctx, cfg, cfgKey, b.Name, pol)
 	}
 
 	switch *mode {
@@ -62,48 +103,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "static CTA limit sweep for %s (max resident %d):\n", b.Name, maxRes)
 		bestIPC, bestLim := 0.0, 0
 		for lim := 1; lim <= maxRes; lim++ {
-			r, err := runOne(cfg, schemes.SWL{Limit: lim})
+			res, err := runOne(cfg, "", schemes.SWL{Limit: lim})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "  limit %2d: IPC %.3f\n", lim, r.IPC())
-			if r.IPC() > bestIPC {
-				bestIPC, bestLim = r.IPC(), lim
+			fmt.Fprintf(stdout, "  limit %2d: IPC %.3f\n", lim, res.IPC())
+			if res.IPC() > bestIPC {
+				bestIPC, bestLim = res.IPC(), lim
 			}
 		}
 		fmt.Fprintf(stdout, "Best-SWL: limit %d (IPC %.3f)\n", bestLim, bestIPC)
 	case "cache":
 		pol, err := linebacker.NewScheme(*scheme)
 		if err != nil {
-			return err
+			return cliutil.Usagef("%v", err)
 		}
 		fmt.Fprintf(stdout, "L1 size sweep for %s under %s:\n", b.Name, pol.Name())
 		for _, kb := range []int{16, 48, 64, 96, 128} {
 			c := cfg
 			c.GPU.L1Bytes = kb * 1024
-			base, err := runOne(c, sim.Baseline{})
+			key := fmt.Sprintf("l1=%d", kb)
+			base, err := runOne(c, key, sim.Baseline{})
 			if err != nil {
 				return err
 			}
-			r, err := runOne(c, pol)
+			res, err := runOne(c, key, pol)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, r.IPC(), r.IPC()/base.IPC())
+			fmt.Fprintf(stdout, "  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, res.IPC(), res.IPC()/base.IPC())
 		}
 	case "vtt":
 		fmt.Fprintf(stdout, "VTT partition associativity sweep for %s:\n", b.Name)
 		for _, ways := range []int{1, 2, 4, 8, 16, 32} {
 			pol := core.NewWith(core.Options{Selection: true, Throttling: true, VTTWays: ways})
-			r, err := runOne(cfg, pol)
+			// Distinct cfgKey per point: the VTT policies share a Name, and
+			// the memo/journal key must not alias them.
+			res, err := runOne(cfg, fmt.Sprintf("vtt=%d", ways), pol)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "  %2d-way VPs: IPC %.3f, reg-hit %.1f%%, victim %.0f KB avg\n",
-				ways, r.IPC(), r.RegHitRatio()*100, r.Extra["lb_victim_bytes_avg"]/1024)
+				ways, res.IPC(), res.RegHitRatio()*100, res.Extra["lb_victim_bytes_avg"]/1024)
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return cliutil.Usagef("unknown mode %q", *mode)
 	}
 	return nil
 }

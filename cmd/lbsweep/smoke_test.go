@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+)
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "nonsense"},
+		{"-bench", "NOPE"},
+		{"-mode", "cache", "-scheme", "nonsense"},
+		{"-chaos", "panic:sm"},
+		{"-badflag"},
+	} {
+		var stderr bytes.Buffer
+		err := run(args, io.Discard, &stderr)
+		if code := cliutil.Exit(&stderr, "lbsweep", err); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestChaosPanicFailsSweep(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run([]string{"-mode", "vtt", "-bench", "S2", "-windows", "2",
+		"-chaos", "panic:sm:1000"}, io.Discard, &stderr)
+	var re *harness.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("chaos panic returned %T, want *harness.RunError: %v", err, err)
+	}
+	if !errors.Is(err, harness.ErrPanic) {
+		t.Fatalf("error chain missing ErrPanic: %v", err)
+	}
+	if code := cliutil.Exit(&stderr, "lbsweep", err); code != 1 {
+		t.Fatalf("chaos panic exit %d, want 1", code)
+	}
+	if out := stderr.String(); !strings.Contains(out, "machine state at abort") {
+		t.Errorf("stderr missing machine-state snapshot:\n%s", out)
+	}
+}
+
+func TestJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-mode", "vtt", "-bench", "S2", "-windows", "1", "-journal", journal}
+
+	var out1, err1 bytes.Buffer
+	if err := run(args, &out1, &err1); err != nil {
+		t.Fatalf("first sweep failed: %v", err)
+	}
+	if strings.Contains(err1.String(), "resuming") {
+		t.Fatalf("fresh journal claimed a resume:\n%s", err1.String())
+	}
+
+	// Second invocation: every point must come from the journal, with the
+	// resume notice on stderr and bit-identical sweep output.
+	var out2, err2 bytes.Buffer
+	if err := run(args, &out2, &err2); err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if !strings.Contains(err2.String(), "resuming past") {
+		t.Fatalf("no resume notice on stderr:\n%s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed sweep output diverged:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+}

@@ -38,6 +38,15 @@ import (
 //	//lbvet:ordered max over the set is commutative
 const OrderedDirective = "//lbvet:ordered"
 
+// PanicDirective is the escape-hatch comment that justifies a panic in the
+// fault-isolated packages (see the nopanic analyzer): it asserts the panic
+// marks a caller/engine bug that the harness's recovery barrier turns into
+// a *RunError, never an expected run-time condition. Always give the
+// reason after the directive, e.g.
+//
+//	//lbvet:panic unreachable by construction: only the four Kinds exist
+const PanicDirective = "//lbvet:panic"
+
 // Package is one loaded, type-checked package.
 type Package struct {
 	// Path is the import path ("github.com/.../internal/sim").
@@ -53,6 +62,8 @@ type Package struct {
 	fset *token.FileSet
 	// ordered maps file name -> set of lines carrying OrderedDirective.
 	ordered map[string]map[int]bool
+	// panicOK maps file name -> set of lines carrying PanicDirective.
+	panicOK map[string]map[int]bool
 }
 
 // Diagnostic is one finding.
@@ -113,6 +124,14 @@ func (p *Pass) Ordered(pkg *Package, n ast.Node) bool {
 	return lines[pos.Line] || lines[pos.Line-1]
 }
 
+// PanicAllowed reports whether the node carries a PanicDirective comment on
+// its own line or the line immediately above.
+func (p *Pass) PanicAllowed(pkg *Package, n ast.Node) bool {
+	pos := p.Fset.Position(n.Pos())
+	lines := pkg.panicOK[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -121,6 +140,7 @@ func Analyzers() []*Analyzer {
 		Fingerprint,
 		StatsFlow,
 		FloatSum,
+		NoPanic,
 	}
 }
 

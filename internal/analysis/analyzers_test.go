@@ -122,6 +122,7 @@ func TestStatsFlowFixture(t *testing.T) { runFixture(t, "statsflow", StatsFlow) 
 func TestFloatSumFixture(t *testing.T)  { runFixture(t, "floatsum", FloatSum) }
 func TestFingerprintBad(t *testing.T)   { runFixture(t, "fingerprintbad", Fingerprint) }
 func TestFingerprintGood(t *testing.T)  { runFixture(t, "fingerprintgood", Fingerprint) }
+func TestNoPanicFixture(t *testing.T)   { runFixture(t, "nopanic", NoPanic) }
 
 // TestByName covers the analyzer-subset resolver.
 func TestByName(t *testing.T) {

@@ -251,14 +251,18 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, nil
 	}
 
-	pkg := &Package{Path: path, Dir: dir, ordered: map[string]map[int]bool{}}
+	pkg := &Package{Path: path, Dir: dir,
+		ordered: map[string]map[int]bool{},
+		panicOK: map[string]map[int]bool{},
+	}
 	for _, src := range srcs {
 		f, err := parser.ParseFile(l.Fset, src, nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		pkg.Files = append(pkg.Files, f)
-		pkg.ordered[src] = directiveLines(l.Fset, f)
+		pkg.ordered[src] = directiveLines(l.Fset, f, OrderedDirective)
+		pkg.panicOK[src] = directiveLines(l.Fset, f, PanicDirective)
 	}
 
 	pkg.Info = &types.Info{
@@ -280,15 +284,15 @@ func (l *Loader) load(path string) (*Package, error) {
 	return pkg, nil
 }
 
-// directiveLines records the lines of a file that an OrderedDirective
+// directiveLines records the lines of a file that the given directive
 // covers: the directive's own line (trailing-comment form) and the last
 // line of its comment group (so a multi-line justification above a loop
 // still attaches to it).
-func directiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
 	out := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, OrderedDirective) {
+			if strings.HasPrefix(c.Text, directive) {
 				out[fset.Position(c.Pos()).Line] = true
 				out[fset.Position(cg.End()).Line] = true
 			}

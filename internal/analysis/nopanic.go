@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic calls in the fault-isolated packages — harness,
+// sim and check. The run engine's contract is that every failure surfaces
+// as a *harness.RunError a sweep can skip and report; a stray panic in
+// these packages either crashes a campaign or relies on a recovery barrier
+// the author never checked exists. Two escapes:
+//
+//   - functions named Must* (and init), whose documented contract IS to
+//     panic on failure;
+//   - the //lbvet:panic <reason> directive, for engine-bug assertions the
+//     harness's per-run recover() deliberately converts to RunErrors.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "panic outside Must*/init in fault-isolated packages (harness, sim, check)",
+	Run:  runNoPanic,
+}
+
+// faultIsolatedPackages run under the harness's recovery contract.
+var faultIsolatedPackages = map[string]bool{
+	"harness": true,
+	"sim":     true,
+	"check":   true,
+}
+
+func runNoPanic(pass *Pass) {
+	if !faultIsolatedPackages[pass.Pkg.Types.Name()] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			exempt := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				name := fd.Name.Name
+				exempt = strings.HasPrefix(name, "Must") || name == "init"
+			}
+			if exempt {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				// Only the builtin: a local function named panic shadows it.
+				if _, ok := pass.Pkg.Info.Uses[ident].(*types.Builtin); !ok {
+					return true
+				}
+				if pass.PanicAllowed(pass.Pkg, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in fault-isolated package %s: return an error (or a *RunError) instead, rename the function Must*, or justify with %q",
+					pass.Pkg.Types.Name(), PanicDirective+" <reason>")
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import "errors"
+
+// Run is fallible code: panicking here escapes the sweep's error handling.
+func Run(bench string) (int, error) {
+	if bench == "" {
+		panic("empty bench") // want `panic in fault-isolated package harness`
+	}
+	return 1, nil
+}
+
+// MustRun's contract is to panic; the Must* exemption covers it.
+func MustRun(bench string) int {
+	n, err := Run(bench)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustSweep is exempt too, including panics in nested closures.
+func MustSweep(benches []string) []int {
+	out := make([]int, 0, len(benches))
+	collect := func(b string) {
+		n, err := Run(b)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, n)
+	}
+	for _, b := range benches {
+		collect(b)
+	}
+	return out
+}
+
+func init() {
+	if len("x") != 1 {
+		panic("broken compiler")
+	}
+}
+
+// RunSafe re-raises non-error panics; the directive justifies it.
+func RunSafe() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			//lbvet:panic non-error panic values are foreign; re-raise for the outer barrier
+			panic(p)
+		}
+	}()
+	return errors.New("x")
+}
+
+// shadowed has a local function named panic: not the builtin, not flagged.
+func shadowed() {
+	panic := func(string) {}
+	panic("fine")
+}
+
+// inClosure panics inside a goroutine closure of a non-Must function.
+func inClosure(ch chan struct{}) {
+	go func() {
+		defer close(ch)
+		panic("boom") // want `panic in fault-isolated package harness`
+	}()
+}

@@ -1,0 +1,9 @@
+package plot
+
+// Render is outside the fault-isolated packages: nopanic does not apply.
+func Render(rows []string) string {
+	if rows == nil {
+		panic("plot: nil rows")
+	}
+	return rows[0]
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "fmt"
+
+type kind int
+
+const (
+	read kind = iota
+	write
+)
+
+// access dispatches on kind; the default arm is unreachable by
+// construction and carries the directive.
+func access(k kind) string {
+	switch k {
+	case read:
+		return "r"
+	case write:
+		return "w"
+	default:
+		//lbvet:panic unreachable by construction: only the two kinds above exist
+		panic(fmt.Sprintf("sim: unexpected kind %d", k))
+	}
+}
+
+// tick panics on an expected run-time condition: forbidden.
+func tick(queue []int) int {
+	if len(queue) == 0 {
+		panic("sim: empty queue") // want `panic in fault-isolated package sim`
+	}
+	return queue[0]
+}

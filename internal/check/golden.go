@@ -29,8 +29,8 @@ type Metrics struct {
 	DRAMWritten  int64    `json:"dram_written_bytes"`
 }
 
-// metricsOf projects a result onto the golden vector.
-func metricsOf(r *sim.Result) Metrics {
+// MetricsOf projects a result onto the golden vector.
+func MetricsOf(r *sim.Result) Metrics {
 	return Metrics{
 		Cycles:       r.Cycles,
 		Instructions: r.Instructions,
@@ -110,7 +110,7 @@ func Capture(cfg config.Config, desc string, windows int, benches []string, mks 
 				return
 			}
 			g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
-			m := metricsOf(g.Collect())
+			m := MetricsOf(g.Collect())
 			mu.Lock()
 			s.Entries[j.bench+"|"+j.scheme] = m
 			mu.Unlock()

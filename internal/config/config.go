@@ -128,6 +128,40 @@ type Energy struct {
 	StaticWattsSM   float64 // per-SM static power
 }
 
+// ChaosStages lists the GPU.Step phases a chaos panic can target, in
+// pipeline order (see sim.FaultInjector).
+var ChaosStages = []string{"dispatch", "sm", "l2", "dram", "response"}
+
+// Chaos configures the deterministic fault injector (internal/chaos). All
+// faults are driven by (Seed, cycle, stage) so a chaos run is exactly as
+// reproducible as a clean one, and every Chaos field is part of the harness
+// memo fingerprint so a faulted run can never alias a clean cache entry.
+type Chaos struct {
+	// Enabled turns injection on; with it false the other fields are inert.
+	Enabled bool
+	// Seed drives the injector's own PRNG (victim-SM choice, corruption
+	// magnitude). Independent from Config.Seed so the same workload can be
+	// chaos-tested under many fault placements.
+	Seed uint64
+	// PanicStage and PanicCycle force a panic the first time the named
+	// Step stage (see ChaosStages) executes at or after PanicCycle.
+	// PanicCycle 0 disables the fault.
+	PanicStage string
+	PanicCycle int64
+	// StallDRAMCycle freezes the DRAM model from that cycle on: no request
+	// is scheduled or completed, livelocking any run that still needs
+	// memory. 0 disables.
+	StallDRAMCycle int64
+	// CorruptStatsCycle bumps a load-outcome counter on one SM at that
+	// cycle, tripping the internal/check conservation rules. 0 disables.
+	CorruptStatsCycle int64
+}
+
+// Active reports whether any fault is armed.
+func (c *Chaos) Active() bool {
+	return c.Enabled && (c.PanicCycle > 0 || c.StallDRAMCycle > 0 || c.CorruptStatsCycle > 0)
+}
+
 // Config bundles everything a simulation run needs.
 type Config struct {
 	GPU    GPU
@@ -146,6 +180,8 @@ type Config struct {
 	// is enabled (0 = every cycle). Larger intervals trade detection
 	// latency for speed; window-boundary checking uses LB.WindowCycles.
 	CheckEvery int
+	// Chaos configures deterministic fault injection (internal/chaos).
+	Chaos Chaos
 }
 
 // Default returns the paper's baseline configuration (Tables 1 and 3).
@@ -304,6 +340,33 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckEvery < 0 {
 		return errors.New("config: CheckEvery must be non-negative")
+	}
+	return c.Chaos.validate()
+}
+
+// validate rejects inconsistent chaos configurations. A disabled Chaos block
+// is always valid so zero-value configs stay usable.
+func (c *Chaos) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.PanicCycle < 0 || c.StallDRAMCycle < 0 || c.CorruptStatsCycle < 0:
+		return errors.New("config: chaos fault cycles must be non-negative")
+	case !c.Active():
+		return errors.New("config: chaos enabled but no fault armed")
+	}
+	if c.PanicCycle > 0 {
+		ok := false
+		for _, s := range ChaosStages {
+			if s == c.PanicStage {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("config: chaos panic stage %q not in %v", c.PanicStage, ChaosStages)
+		}
 	}
 	return nil
 }

@@ -68,6 +68,10 @@ type DRAM struct {
 
 	inflight doneHeap
 
+	// stalled freezes the model (chaos injection): Tick neither schedules
+	// nor completes requests, so every dependent warp livelocks.
+	stalled bool
+
 	Stats Stats
 }
 
@@ -130,9 +134,20 @@ func (d *DRAM) ForEach(fn func(*memtypes.Request)) {
 	}
 }
 
+// SetStalled freezes (or thaws) the model. Used by the chaos injector to
+// provoke a livelock: queued and in-flight requests are retained but make
+// no progress while stalled.
+func (d *DRAM) SetStalled(s bool) { d.stalled = s }
+
+// Stalled reports whether the model is frozen.
+func (d *DRAM) Stalled() bool { return d.stalled }
+
 // Tick advances one core cycle and returns the requests whose data transfer
 // completes at this cycle.
 func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
+	if d.stalled {
+		return nil
+	}
 	d.tokens += d.bytesPerCycle
 	if d.tokens > d.maxTokens {
 		d.tokens = d.maxTokens

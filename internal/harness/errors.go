@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the run engine. Callers classify failures with
+// errors.Is against these; the concrete error is always a *RunError
+// carrying the failed point's identity and a diagnostic snapshot.
+var (
+	// ErrUnknownBench marks a benchmark name not in the Table 2 registry.
+	ErrUnknownBench = errors.New("harness: unknown benchmark")
+	// ErrBadConfig marks a configuration or kernel rejected by validation.
+	ErrBadConfig = errors.New("harness: bad configuration")
+	// ErrPanic marks a run that panicked in any subsystem and was isolated
+	// by the runner's recovery barrier.
+	ErrPanic = errors.New("harness: run panicked")
+	// ErrWatchdog marks a run aborted for lack of forward progress: no
+	// instruction committed across a wall-clock watchdog tick.
+	ErrWatchdog = errors.New("harness: watchdog: no forward progress")
+	// ErrTimeout marks a run that exceeded the runner's per-run deadline.
+	ErrTimeout = errors.New("harness: run deadline exceeded")
+)
+
+// Run phases a RunError can fail in.
+const (
+	PhaseSetup   = "setup"   // benchmark lookup, config validation, machine build
+	PhaseQueue   = "queue"   // waiting for a worker slot
+	PhaseRun     = "run"     // cycle simulation
+	PhaseCollect = "collect" // result aggregation
+)
+
+// RunError describes one failed simulation point. It survives sweeps: a
+// failed (bench, policy, config) is reported with enough identity to re-run
+// it alone and enough machine state to see where it stopped.
+type RunError struct {
+	// Bench, Policy and CfgKey identify the point exactly as the memo
+	// cache keys it.
+	Bench  string
+	Policy string
+	CfgKey string
+	// Phase is the run stage that failed (PhaseSetup, PhaseRun, ...).
+	Phase string
+	// Cycle is the simulated cycle at abort (0 if the machine never ran).
+	Cycle int64
+	// Snapshot is the sim.GPU.StateDump diagnostic at abort, when the
+	// machine existed.
+	Snapshot string
+	// Stack is the recovered goroutine stack for panic failures.
+	Stack string
+	// Err is the underlying cause, wrapping one of the sentinels above
+	// and/or a context cancellation cause.
+	Err error
+}
+
+// Error renders the point identity and cause; the snapshot and stack are
+// deliberately excluded (use Detail for the full diagnostic).
+func (e *RunError) Error() string {
+	id := e.Bench
+	if e.Policy != "" {
+		id += "/" + e.Policy
+	}
+	if e.CfgKey != "" {
+		id += "[" + e.CfgKey + "]"
+	}
+	if e.Cycle > 0 {
+		return fmt.Sprintf("harness: %s: %s failed at cycle %d: %v", id, e.Phase, e.Cycle, e.Err)
+	}
+	return fmt.Sprintf("harness: %s: %s failed: %v", id, e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause chain for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Detail renders the error plus its diagnostic snapshot and, for panics,
+// the recovered stack — the form CLIs print to stderr.
+func (e *RunError) Detail() string {
+	s := e.Error()
+	if e.Snapshot != "" {
+		s += "\nmachine state at abort:\n" + indent(e.Snapshot)
+	}
+	if e.Stack != "" {
+		s += "\nrecovered stack:\n" + indent(e.Stack)
+	}
+	return s
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +19,24 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(r *Runner) *Table
+}
+
+// RunSafe executes the experiment under the runner's fault barrier: a
+// failed point (which experiment code raises by panicking with the
+// *RunError from a Must* method) comes back as that error instead of
+// crashing the caller. CLIs use it to print diagnostics and exit non-zero.
+func (e Experiment) RunSafe(r *Runner) (tab *Table, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if re, ok := p.(error); ok {
+				tab, err = nil, re
+				return
+			}
+			//lbvet:panic non-error panic values are not ours; re-raise for the test harness or crash reporter
+			panic(p)
+		}
+	}()
+	return e.Run(r), nil
 }
 
 // Experiments returns every reproduced table and figure in paper order.
@@ -114,17 +134,35 @@ func Table2(r *Runner) *Table {
 	}
 	benches := workload.All()
 	rows := make([]row, len(benches))
+	errs := make([]error, len(benches))
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	for i, b := range benches {
 		wg.Add(1)
 		go func(i int, b workload.Benchmark) {
 			defer wg.Done()
-			base := r.Run(b.Name, sim.Baseline{})
-			big := r.RunCfg(cfgWithL1(r.Cfg, 192), "l1=192", b.Name, sim.Baseline{})
+			// The error API, not Must*: a panic in a bare goroutine would
+			// escape Experiment.RunSafe's recovery barrier and kill the
+			// process. Failures join below and surface on the caller's
+			// goroutine instead.
+			base, err := r.Run(ctx, b.Name, sim.Baseline{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			big, err := r.RunCfg(ctx, cfgWithL1(r.Cfg, 192), "l1=192", b.Name, sim.Baseline{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			rows[i] = row{b, Speedup(big, base)}
 		}(i, b)
 	}
 	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		//lbvet:panic experiments are infallible by contract; RunSafe converts this to the joined error
+		panic(err)
+	}
 	for _, row := range rows {
 		cls := "insensitive"
 		if row.speedup > 1.30 {
@@ -145,7 +183,7 @@ func Fig1(r *Runner) *Table {
 		Header: []string{"App", "ColdMissRatio", "2CMissRatio", "TotalMissRatio", "2C/Total"}}
 	var coldR, ccR, totR []float64
 	for _, name := range workload.Names() {
-		res := r.Run(name, sim.Baseline{})
+		res := r.MustRun(name, sim.Baseline{})
 		// Classified misses exclude merged pending hits (which the paper's
 		// counters also fold into the first miss).
 		total := float64(res.L1.TotalLoadAccesses())
@@ -176,7 +214,7 @@ func Fig2(r *Runner) *Table {
 		Header: []string{"App", "ReusedWS(KB)", ">L1(48KB)?"}}
 	exceed := 0
 	for _, name := range workload.Names() {
-		p := r.RunProbe(name)
+		p := r.MustRunProbe(name)
 		ws := stats.TopReusedWorkingSet(p.Loads, 4)
 		over := ""
 		if ws > 48*1024 {
@@ -195,7 +233,7 @@ func Fig3(r *Runner) *Table {
 		Header: []string{"App", "Streaming(KB)", ">16KB?", ">L1?"}}
 	over16, overL1 := 0, 0
 	for _, name := range workload.Names() {
-		p := r.RunProbe(name)
+		p := r.MustRunProbe(name)
 		sb := stats.StreamingBytes(p.Loads)
 		m16, mL1 := "", ""
 		if sb > 16*1024 {
@@ -221,7 +259,7 @@ func Fig4(r *Runner) *Table {
 	for _, name := range workload.Names() {
 		b, _ := workload.ByName(name)
 		sur := float64(schemes.SURBytes(&r.Cfg.GPU, b.Kernel))
-		lim, _ := r.BestSWL(name)
+		lim, _ := r.MustBestSWL(name)
 		dur := float64(schemes.DURBytes(&r.Cfg.GPU, b.Kernel, lim))
 		surs = append(surs, sur)
 		durs = append(durs, dur)
@@ -238,10 +276,10 @@ func Fig5(r *Runner) *Table {
 		Header: []string{"App", "Best-SWL", "CacheExt", "Best-SWL+CacheExt"}}
 	var sw, ce, both []float64
 	for _, name := range workload.Names() {
-		base := r.Run(name, sim.Baseline{})
-		lim, swl := r.BestSWL(name)
-		ext := r.Run(name, schemes.CacheExt{})
-		combo := r.Run(name, schemes.Combine(
+		base := r.MustRun(name, sim.Baseline{})
+		lim, swl := r.MustBestSWL(name)
+		ext := r.MustRun(name, schemes.CacheExt{})
+		combo := r.MustRun(name, schemes.Combine(
 			fmt.Sprintf("Best-SWL+CacheExt(%d)", lim),
 			schemes.CacheExt{DURLimit: lim}, schemes.SWL{Limit: lim}))
 		s1, s2, s3 := Speedup(swl, base), Speedup(ext, base), Speedup(combo, base)
@@ -262,7 +300,7 @@ func Fig9(r *Runner) *Table {
 	var st, dy []float64
 	for _, name := range workload.Names() {
 		b, _ := workload.ByName(name)
-		res := r.Run(name, lb())
+		res := r.MustRun(name, lb())
 		// Static victim space: partitions that fit above the live registers
 		// at full residency (i.e. without any throttling).
 		staticBytes := staticVictimBytes(&r.Cfg, b.Kernel)
@@ -306,8 +344,8 @@ func Fig10(r *Runner) *Table {
 		}
 		var speedups, utils []float64
 		for _, name := range workload.Names() {
-			_, swl := r.BestSWL(name)
-			res := r.Run(name, namedPolicy{fmt.Sprintf("LB-vtt%d", ways), pol()})
+			_, swl := r.MustBestSWL(name)
+			res := r.MustRun(name, namedPolicy{fmt.Sprintf("LB-vtt%d", ways), pol()})
 			speedups = append(speedups, Speedup(res, swl))
 			unused := res.Extra["lb_unused_bytes_avg"]
 			if unused > 0 {
@@ -335,10 +373,10 @@ func Fig11(r *Runner) *Table {
 		Header: []string{"App", "VictimCaching", "SelectiveVC", "Throttling+SVC(LB)"}}
 	var a, b, c []float64
 	for _, name := range workload.Names() {
-		_, swl := r.BestSWL(name)
-		v1 := Speedup(r.Run(name, vc()), swl)
-		v2 := Speedup(r.Run(name, svc()), swl)
-		v3 := Speedup(r.Run(name, lb()), swl)
+		_, swl := r.MustBestSWL(name)
+		v1 := Speedup(r.MustRun(name, vc()), swl)
+		v2 := Speedup(r.MustRun(name, svc()), swl)
+		v3 := Speedup(r.MustRun(name, lb()), swl)
 		a = append(a, v1)
 		b = append(b, v2)
 		c = append(c, v3)
@@ -362,14 +400,14 @@ func Fig12(r *Runner) *Table {
 	}
 	sums := make([][]float64, len(pols))
 	for _, name := range workload.Names() {
-		_, swl := r.BestSWL(name)
+		_, swl := r.MustBestSWL(name)
 		row := []string{name}
 		for i, pf := range pols {
 			var s float64
 			if pf == nil {
 				s = 1.0
 			} else {
-				s = Speedup(r.Run(name, pf()), swl)
+				s = Speedup(r.MustRun(name, pf()), swl)
 			}
 			sums[i] = append(sums[i], s)
 			row = append(row, f2(s))

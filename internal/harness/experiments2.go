@@ -19,10 +19,10 @@ func ExtCCWS(r *Runner) *Table {
 		Header: []string{"App", "Baseline", "CCWS", "Linebacker"}}
 	var bs, cs, ls []float64
 	for _, name := range workload.Names() {
-		_, swl := r.BestSWL(name)
-		b := Speedup(r.Run(name, sim.Baseline{}), swl)
-		c := Speedup(r.Run(name, schemes.CCWS{}), swl)
-		l := Speedup(r.Run(name, lb()), swl)
+		_, swl := r.MustBestSWL(name)
+		b := Speedup(r.MustRun(name, sim.Baseline{}), swl)
+		c := Speedup(r.MustRun(name, schemes.CCWS{}), swl)
+		l := Speedup(r.MustRun(name, lb()), swl)
 		bs = append(bs, b)
 		cs = append(cs, c)
 		ls = append(ls, l)
@@ -38,16 +38,16 @@ func fig13Schemes(r *Runner, name string) []struct {
 	tag string
 	res *sim.Result
 } {
-	_, swl := r.BestSWL(name)
+	_, swl := r.MustBestSWL(name)
 	return []struct {
 		tag string
 		res *sim.Result
 	}{
-		{"B", r.Run(name, sim.Baseline{})},
+		{"B", r.MustRun(name, sim.Baseline{})},
 		{"S", swl},
-		{"P", r.Run(name, schemes.PCAL{})},
-		{"C", r.Run(name, schemes.CERF{})},
-		{"L", r.Run(name, lb())},
+		{"P", r.MustRun(name, schemes.PCAL{})},
+		{"C", r.MustRun(name, schemes.CERF{})},
+		{"L", r.MustRun(name, lb())},
 	}
 }
 
@@ -90,9 +90,9 @@ func Fig14(r *Runner) *Table {
 		key := fmt.Sprintf("l1=%d", kb)
 		var cerfS, lbS []float64
 		for _, name := range workload.Names() {
-			base := r.RunCfg(cfg, key, name, sim.Baseline{})
-			cerf := r.RunCfg(cfg, key, name, schemes.CERF{})
-			lbr := r.RunCfg(cfg, key, name, lb())
+			base := r.MustRunCfg(cfg, key, name, sim.Baseline{})
+			cerf := r.MustRunCfg(cfg, key, name, schemes.CERF{})
+			lbr := r.MustRunCfg(cfg, key, name, lb())
 			cerfS = append(cerfS, Speedup(cerf, base))
 			lbS = append(lbS, Speedup(lbr, base))
 		}
@@ -117,10 +117,10 @@ func Fig15(r *Runner) *Table {
 	}
 	sums := make([][]float64, 5)
 	for _, name := range workload.Names() {
-		_, swl := r.BestSWL(name)
+		_, swl := r.MustBestSWL(name)
 		row := []string{name}
 		for i, pol := range mk() {
-			s := Speedup(r.Run(name, pol), swl)
+			s := Speedup(r.MustRun(name, pol), swl)
 			sums[i] = append(sums[i], s)
 			row = append(row, f2(s))
 		}
@@ -141,9 +141,9 @@ func Fig16(r *Runner) *Table {
 		Header: []string{"App", "CERF", "Linebacker"}}
 	var cs, ls []float64
 	for _, name := range workload.Names() {
-		base := r.Run(name, sim.Baseline{})
-		cerf := r.Run(name, schemes.CERF{})
-		lbr := r.Run(name, lb())
+		base := r.MustRun(name, sim.Baseline{})
+		cerf := r.MustRun(name, schemes.CERF{})
+		lbr := r.MustRun(name, lb())
 		norm := func(res *sim.Result) float64 {
 			if res.Instructions == 0 || base.Instructions == 0 || base.RF.BankConflicts == 0 {
 				return 0
@@ -168,9 +168,9 @@ func Fig17(r *Runner) *Table {
 		Header: []string{"App", "CERF", "Linebacker", "LB backup+restore share"}}
 	var cs, ls, ov []float64
 	for _, name := range workload.Names() {
-		base := r.Run(name, sim.Baseline{})
-		cerf := r.Run(name, schemes.CERF{})
-		lbr := r.Run(name, lb())
+		base := r.MustRun(name, sim.Baseline{})
+		cerf := r.MustRun(name, schemes.CERF{})
+		lbr := r.MustRun(name, lb())
 		perInstr := func(res *sim.Result) float64 {
 			if res.Instructions == 0 {
 				return 0
@@ -199,9 +199,9 @@ func Fig18(r *Runner) *Table {
 		Header: []string{"App", "CERF", "Linebacker"}}
 	var cs, ls []float64
 	for _, name := range workload.Names() {
-		base := r.Run(name, sim.Baseline{})
-		cerf := r.Run(name, schemes.CERF{})
-		lbr := r.Run(name, lb())
+		base := r.MustRun(name, sim.Baseline{})
+		cerf := r.MustRun(name, schemes.CERF{})
+		lbr := r.MustRun(name, lb())
 		b := energy.PerInstruction(&r.Cfg, base)
 		if b == 0 {
 			continue

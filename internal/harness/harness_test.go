@@ -1,10 +1,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
-	"github.com/linebacker-sim/linebacker/internal/schemes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
 )
 
@@ -44,26 +45,95 @@ func TestExperimentRegistry(t *testing.T) {
 
 func TestRunnerMemoisation(t *testing.T) {
 	r := tinyRunner()
-	a := r.Run("S2", sim.Baseline{})
-	b := r.Run("S2", sim.Baseline{})
+	a := r.MustRun("S2", sim.Baseline{})
+	b := r.MustRun("S2", sim.Baseline{})
 	if a != b {
 		t.Fatal("identical runs not memoised")
 	}
-	c := r.RunCfg(cfgWithL1(r.Cfg, 192), "l1=192", "S2", sim.Baseline{})
+	c := r.MustRunCfg(cfgWithL1(r.Cfg, 192), "l1=192", "S2", sim.Baseline{})
 	if c == a {
 		t.Fatal("different cfgKey hit the same cache entry")
 	}
 }
 
+func TestSentinelErrorChains(t *testing.T) {
+	r := tinyRunner()
+	ctx := context.Background()
+
+	_, err := r.Run(ctx, "no-such-bench", sim.Baseline{})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run(unknown bench) error = %T, want *RunError", err)
+	}
+	if !errors.Is(err, ErrUnknownBench) {
+		t.Fatalf("unknown-bench chain missing ErrUnknownBench: %v", err)
+	}
+	if re.Bench != "no-such-bench" || re.Phase != PhaseSetup {
+		t.Fatalf("RunError identity = %q/%q, want no-such-bench/setup", re.Bench, re.Phase)
+	}
+
+	bad := r.Cfg
+	bad.GPU.NumSMs = 0
+	_, err = r.RunCfg(ctx, bad, "bad", "S2", sim.Baseline{})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad-config chain missing ErrBadConfig: %v", err)
+	}
+	if errors.Is(err, ErrUnknownBench) {
+		t.Fatalf("bad-config chain wrongly matches ErrUnknownBench: %v", err)
+	}
+
+	_, err = r.RunProbe(ctx, "no-such-bench")
+	if !errors.Is(err, ErrUnknownBench) {
+		t.Fatalf("probe unknown-bench chain missing ErrUnknownBench: %v", err)
+	}
+	if !errors.As(err, &re) || re.Policy != "probe" {
+		t.Fatalf("probe RunError = %+v, want Policy=probe", err)
+	}
+
+	if _, _, err := r.BestSWL(ctx, "no-such-bench"); !errors.Is(err, ErrUnknownBench) {
+		t.Fatalf("BestSWL unknown-bench chain missing ErrUnknownBench: %v", err)
+	}
+}
+
+func TestMustRunPanicsWithRunError(t *testing.T) {
+	r := tinyRunner()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("MustRun(unknown bench) did not panic")
+		}
+		re, ok := p.(*RunError)
+		if !ok {
+			t.Fatalf("panic value = %T, want *RunError", p)
+		}
+		if !errors.Is(re, ErrUnknownBench) {
+			t.Fatalf("panic chain missing ErrUnknownBench: %v", re)
+		}
+	}()
+	r.MustRun("no-such-bench", sim.Baseline{})
+}
+
+func TestFailedRunsAreNotMemoised(t *testing.T) {
+	r := tinyRunner()
+	ctx := context.Background()
+	if _, err := r.Run(ctx, "no-such-bench", sim.Baseline{}); err == nil {
+		t.Fatal("expected failure")
+	}
+	r.mu.Lock()
+	n := len(r.cache)
+	r.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("failed run left %d memo entries", n)
+	}
+}
+
 func TestBestSWLNeverWorseThanFullResidency(t *testing.T) {
 	r := tinyRunner()
-	lim, best := r.BestSWL("CF")
+	lim, best := r.MustBestSWL("CF")
 	if lim < 1 {
 		t.Fatalf("best limit = %d", lim)
 	}
-	full := r.Run("CF", schemes.SWL{Limit: 1000000 >> 16}) // placeholder, not used
-	_ = full
-	base := r.Run("CF", sim.Baseline{})
+	base := r.MustRun("CF", sim.Baseline{})
 	// Best-SWL's sweep includes the full-residency limit, which matches
 	// baseline scheduling up to CTA age ordering; allow small tolerance.
 	if best.IPC() < base.IPC()*0.9 {
@@ -104,7 +174,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestProbeExperimentsRun(t *testing.T) {
 	r := tinyRunner()
-	p := r.RunProbe("BI")
+	p := r.MustRunProbe("BI")
 	if len(p.Loads) == 0 {
 		t.Fatal("probe saw no loads")
 	}
@@ -121,7 +191,7 @@ func TestProbeExperimentsRun(t *testing.T) {
 	if streams == 0 || reused == 0 {
 		t.Fatalf("classification degenerate: %+v", p.Loads)
 	}
-	if r.RunProbe("BI") != p {
+	if r.MustRunProbe("BI") != p {
 		t.Fatal("probe results not memoised")
 	}
 }

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// journalRecord is one completed memo entry in the JSONL artifact. The key
+// embeds the full config fingerprint, so replaying a journal written under
+// a different configuration (or with chaos armed) can never alias a clean
+// entry — the keys simply won't match.
+type journalRecord struct {
+	V      int         `json:"v"`
+	Key    string      `json:"key"`
+	Result *sim.Result `json:"result"`
+}
+
+const journalVersion = 1
+
+// Journal checkpoints completed simulation results to an append-only JSONL
+// file so an interrupted sweep resumes where it stopped: attach one to a
+// Runner and every memoised success is persisted; on the next run the
+// journal preloads the memo cache and only the missing points re-simulate.
+//
+// Loading is corruption-tolerant: a truncated tail line (the process died
+// mid-write) is silently dropped, and interior records that fail to parse
+// are skipped with a warning — a damaged journal costs re-simulation, never
+// a failed sweep.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	entries  map[string]*sim.Result
+	warnings []string
+	writeErr error
+}
+
+// OpenJournal opens (creating if needed) the journal at path and loads its
+// valid records. If the file ends mid-record, the partial tail is truncated
+// away so subsequent appends start on a clean line boundary.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, entries: map[string]*sim.Result{}}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load reads every record, tolerating a truncated tail and skipping bad
+// interior lines, then positions the file for appending.
+func (j *Journal) load() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("harness: reading journal %s: %w", j.path, err)
+	}
+	keep := int64(len(data))
+	if n := strings.LastIndexByte(string(data), '\n'); n < len(data)-1 {
+		// The file does not end on a line boundary: the last write was cut
+		// short. Drop the partial record and truncate so the next append
+		// cannot fuse two records into one garbage line.
+		keep = int64(n + 1)
+		j.warnings = append(j.warnings,
+			fmt.Sprintf("%s: dropped truncated tail record (%d bytes)", j.path, int64(len(data))-keep))
+	}
+	for i, line := range strings.Split(string(data[:keep]), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			j.warnings = append(j.warnings,
+				fmt.Sprintf("%s:%d: skipping unparsable record: %v", j.path, i+1, err))
+			continue
+		}
+		if rec.V != journalVersion || rec.Key == "" || rec.Result == nil {
+			j.warnings = append(j.warnings,
+				fmt.Sprintf("%s:%d: skipping invalid record (v=%d, key=%q)", j.path, i+1, rec.V, rec.Key))
+			continue
+		}
+		j.entries[rec.Key] = rec.Result
+	}
+	if err := j.f.Truncate(keep); err != nil {
+		return fmt.Errorf("harness: truncating journal %s: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(keep, io.SeekStart); err != nil {
+		return fmt.Errorf("harness: seeking journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Entries returns the loaded (and since-recorded) results by memo key.
+func (j *Journal) Entries() map[string]*sim.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]*sim.Result, len(j.entries))
+	for k, v := range j.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// Warnings returns the non-fatal problems found while loading.
+func (j *Journal) Warnings() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.warnings...)
+}
+
+// Record appends one completed result. Failures are sticky (see Err) but
+// deliberately do not fail the simulation that produced the result: a full
+// disk costs resumability, not the sweep.
+func (j *Journal) Record(key string, res *sim.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.writeErr != nil {
+		return
+	}
+	if _, dup := j.entries[key]; dup {
+		return
+	}
+	data, err := json.Marshal(journalRecord{V: journalVersion, Key: key, Result: res})
+	if err != nil {
+		j.writeErr = fmt.Errorf("harness: encoding journal record: %w", err)
+		return
+	}
+	// One Write call per record keeps a crash from interleaving two
+	// records; a cut-short write is exactly the truncated-tail case load
+	// already tolerates.
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		j.writeErr = fmt.Errorf("harness: appending to journal %s: %w", j.path, err)
+		return
+	}
+	j.entries[key] = res
+}
+
+// Len returns the number of usable records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Err returns the first write failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Close(); err != nil && j.writeErr == nil {
+		j.writeErr = err
+	}
+	return j.writeErr
+}

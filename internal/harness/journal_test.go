@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+func journalRunner() *Runner {
+	cfg := BenchConfig()
+	cfg.GPU.NumSMs = 1
+	cfg.GPU.DRAMBandwidthGBs = 44
+	cfg.GPU.DRAMChannels = 2
+	cfg.GPU.L2Bytes = 128 * 1024
+	cfg.LB.WindowCycles = 2000
+	return NewRunner(cfg, 2)
+}
+
+func TestJournalResumeSkipsCompletedPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx := context.Background()
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := journalRunner()
+	r.AttachJournal(j)
+	a, err := r.Run(ctx, "S2", sim.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Executions() != 1 || j.Len() != 1 {
+		t.Fatalf("execs=%d journal=%d, want 1/1", r.Executions(), j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: new runner, same journal file. The completed point
+	// must come from the journal; only the new point simulates.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := journalRunner()
+	r2.AttachJournal(j2)
+	a2, err := r2.Run(ctx, "S2", sim.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executions() != 0 {
+		t.Fatalf("journaled point re-simulated (%d executions)", r2.Executions())
+	}
+	if a2.Cycles != a.Cycles || a2.Instructions != a.Instructions {
+		t.Fatalf("journal replay diverged: %+v vs %+v", a2, a)
+	}
+	if _, err := r2.Run(ctx, "BI", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executions() != 1 {
+		t.Fatalf("incomplete point did not simulate (%d executions)", r2.Executions())
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("journal has %d entries, want 2", j2.Len())
+	}
+}
+
+func TestJournalDifferentConfigNeverAliases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx := context.Background()
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := journalRunner()
+	r.AttachJournal(j)
+	if _, err := r.Run(ctx, "S2", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Same journal, different configuration: the key fingerprints differ,
+	// so the stale entry must be ignored and the run re-simulated.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := journalRunner()
+	r2.Cfg.GPU.L1Bytes = 96 * 1024
+	r2.AttachJournal(j2)
+	if _, err := r2.Run(ctx, "S2", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executions() != 1 {
+		t.Fatal("changed config hit a stale journal entry")
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx := context.Background()
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := journalRunner()
+	r.AttachJournal(j)
+	if _, err := r.Run(ctx, "S2", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, "BI", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Cut the file mid-record, as a kill -9 during an append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("journal loaded %d entries from truncated file, want 1", j2.Len())
+	}
+	warned := false
+	for _, w := range j2.Warnings() {
+		if strings.Contains(w, "truncated tail") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no truncated-tail warning in %v", j2.Warnings())
+	}
+
+	// Appends after recovery must start on a clean line boundary.
+	r2 := journalRunner()
+	r2.AttachJournal(j2)
+	if _, err := r2.Run(ctx, "BI", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 || len(j3.Warnings()) != 0 {
+		t.Fatalf("post-recovery journal: %d entries, warnings %v; want 2 clean",
+			j3.Len(), j3.Warnings())
+	}
+}
+
+func TestJournalSkipsCorruptInteriorRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx := context.Background()
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := journalRunner()
+	r.AttachJournal(j)
+	if _, err := r.Run(ctx, "S2", sim.Baseline{}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := "not json at all\n" + `{"v":99,"key":"future","result":null}` + "\n"
+	if err := os.WriteFile(path, append([]byte(garbage), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("journal loaded %d entries, want the 1 valid record", j2.Len())
+	}
+	if len(j2.Warnings()) != 2 {
+		t.Fatalf("warnings = %v, want one per bad record", j2.Warnings())
+	}
+}
+
+func TestJournalRecordDeduplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	res := &sim.Result{Cycles: 1}
+	j.Record("k", res)
+	j.Record("k", res)
+	if j.Len() != 1 {
+		t.Fatalf("duplicate key recorded twice (len=%d)", j.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Fatalf("journal file has %d lines, want 1", n)
+	}
+}

@@ -1,6 +1,10 @@
 package harness
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
 	"github.com/linebacker-sim/linebacker/internal/stats"
@@ -14,35 +18,72 @@ type ProbeResult struct {
 }
 
 // RunProbe executes the benchmark under the baseline policy with a per-load
-// probe attached to every SM and returns merged per-load statistics.
-func (r *Runner) RunProbe(bench string) *ProbeResult {
+// probe attached to every SM and returns merged per-load statistics. A
+// non-nil error is always a *RunError.
+func (r *Runner) RunProbe(ctx context.Context, bench string) (*ProbeResult, error) {
 	key := "probe|" + bench
 	r.mu.Lock()
 	if res, ok := r.probeCache[key]; ok {
 		r.mu.Unlock()
-		return res
+		return res, nil
 	}
 	r.mu.Unlock()
 
-	r.sem <- struct{}{}
-	res := r.executeProbe(bench)
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, &RunError{Bench: bench, Policy: "probe", Phase: PhaseQueue,
+			Err: context.Cause(ctx)}
+	}
+	res, err := r.executeProbe(ctx, bench)
 	<-r.sem
+	if err != nil {
+		return nil, err
+	}
 
 	r.mu.Lock()
 	r.probeCache[key] = res
 	r.mu.Unlock()
-	return res
+	return res, nil
 }
 
-func (r *Runner) executeProbe(bench string) *ProbeResult {
-	b, ok := workload.ByName(bench)
-	if !ok {
-		panic("harness: unknown benchmark " + bench)
-	}
-	g, err := sim.New(r.Cfg, b.Kernel, sim.Baseline{})
+// MustRunProbe is RunProbe with a background context, panicking on failure.
+// The panic value is the *RunError.
+func (r *Runner) MustRunProbe(bench string) *ProbeResult {
+	res, err := r.RunProbe(context.Background(), bench)
 	if err != nil {
 		panic(err)
 	}
+	return res
+}
+
+func (r *Runner) executeProbe(ctx context.Context, bench string) (res *ProbeResult, err error) {
+	rerr := &RunError{Bench: bench, Policy: "probe", Phase: PhaseSetup}
+	var g *sim.GPU
+	defer func() {
+		if p := recover(); p != nil {
+			rerr.Err = fmt.Errorf("%w: %v", ErrPanic, p)
+			rerr.Stack = string(debug.Stack())
+			if g != nil {
+				rerr.Cycle = g.Cycle()
+				rerr.Snapshot = safeDump(g)
+			}
+			res, err = nil, rerr
+		}
+	}()
+
+	b, ok := workload.ByName(bench)
+	if !ok {
+		rerr.Err = fmt.Errorf("%w %q", ErrUnknownBench, bench)
+		return nil, rerr
+	}
+	machine, serr := sim.New(r.Cfg, b.Kernel, sim.Baseline{})
+	if serr != nil {
+		rerr.Err = fmt.Errorf("%w: %w", ErrBadConfig, serr)
+		return nil, rerr
+	}
+	g = machine
+	r.execs.Add(1)
 	probes := make([]*stats.LoadProbe, len(g.SMs()))
 	for i, smx := range g.SMs() {
 		p := stats.NewLoadProbe(int64(r.Cfg.LB.WindowCycles))
@@ -53,8 +94,15 @@ func (r *Runner) executeProbe(bench string) *ProbeResult {
 			}
 		}
 	}
-	g.Run(r.cycles(&r.Cfg))
-	return &ProbeResult{Loads: mergeProbes(probes)}
+	rerr.Phase = PhaseRun
+	cyc, runErr := g.RunCtx(ctx, r.cycles(&r.Cfg))
+	if runErr != nil {
+		rerr.Cycle = cyc
+		rerr.Snapshot = safeDump(g)
+		rerr.Err = runErr
+		return nil, rerr
+	}
+	return &ProbeResult{Loads: mergeProbes(probes)}, nil
 }
 
 // mergeProbes averages per-PC statistics across SMs.

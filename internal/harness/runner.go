@@ -1,13 +1,29 @@
 // Package harness defines and executes the paper's experiments: one
 // function per table/figure of the evaluation, shared by cmd/lbfig, the
 // root-level benchmarks and EXPERIMENTS.md generation.
+//
+// The Runner is a fault-tolerant run engine: every simulation executes
+// under a panic-recovery barrier with cooperative context cancellation, an
+// optional per-run deadline and an optional no-forward-progress watchdog.
+// Failures come back as *RunError values carrying the failed point's
+// identity and a machine-state snapshot; sweeps degrade gracefully by
+// skipping (and reporting) failed points instead of dying. Successful
+// results — and only successful results — are memoised, and optionally
+// journaled to disk so interrupted sweeps resume without re-simulating
+// completed points.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"github.com/linebacker-sim/linebacker/internal/chaos"
 	"github.com/linebacker-sim/linebacker/internal/check"
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/schemes"
@@ -22,13 +38,24 @@ type Runner struct {
 	// Cfg is the base configuration for every run (experiments clone and
 	// adjust it, e.g. the cache-size sweep).
 	Cfg config.Config
-	// Windows is the run length in monitoring windows.
+	// Windows is the run length in monitoring windows (0 = run each
+	// kernel to completion).
 	Windows int
+	// Timeout bounds the wall-clock time of one simulation (0 = none).
+	// An exceeded deadline aborts the run with an ErrTimeout RunError.
+	Timeout time.Duration
+	// WatchdogTick enables the forward-progress watchdog (0 = off): a run
+	// that commits no instruction across one full tick is aborted with an
+	// ErrWatchdog RunError and a machine-state snapshot — a livelocked
+	// point fails fast instead of wedging the sweep.
+	WatchdogTick time.Duration
 
 	mu         sync.Mutex
 	cache      map[string]*sim.Result
 	probeCache map[string]*ProbeResult
 	sem        chan struct{}
+	journal    *Journal
+	execs      atomic.Int64
 }
 
 // NewRunner builds a runner over the given configuration. windows sets the
@@ -46,6 +73,25 @@ func NewRunner(cfg config.Config, windows int) *Runner {
 		sem:        make(chan struct{}, workers),
 	}
 }
+
+// AttachJournal preloads the memo cache from the journal's records and
+// persists every subsequent successful run to it. Keys embed the full
+// config fingerprint, so entries journaled under a different configuration
+// are simply never hit.
+func (r *Runner) AttachJournal(j *Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.journal = j
+	for k, res := range j.Entries() {
+		if _, ok := r.cache[k]; !ok {
+			r.cache[k] = res
+		}
+	}
+}
+
+// Executions returns how many simulations actually ran (memo misses) —
+// journal-resume tests use it to prove completed points are not re-run.
+func (r *Runner) Executions() int64 { return r.execs.Load() }
 
 // BenchConfig returns a fast experiment configuration: 4 SMs with the
 // shared resources (DRAM bandwidth/channels, L2 capacity) scaled by the
@@ -72,56 +118,155 @@ func (r *Runner) cycles(cfg *config.Config) int64 {
 	return int64(r.Windows) * int64(cfg.LB.WindowCycles)
 }
 
-// Run simulates one benchmark under one policy using the runner's base
-// config, memoised by (config fingerprint, bench, policy-name).
-func (r *Runner) Run(bench string, pol sim.Policy) *sim.Result {
-	return r.RunCfg(r.Cfg, "", bench, pol)
-}
-
 // cfgFingerprint renders every field of the configuration into the memo
 // key. Config is a tree of value types, so %v is deterministic and two
-// configs collide only when they are semantically identical.
+// configs collide only when they are semantically identical. Chaos fields
+// are part of the fingerprint by construction: a faulted run can never
+// alias a clean cache or journal entry.
 func cfgFingerprint(cfg *config.Config) string {
 	return fmt.Sprintf("%v", *cfg)
+}
+
+// Run simulates one benchmark under one policy using the runner's base
+// config, memoised by (config fingerprint, bench, policy-name). A non-nil
+// error is always a *RunError.
+func (r *Runner) Run(ctx context.Context, bench string, pol sim.Policy) (*sim.Result, error) {
+	return r.RunCfg(ctx, r.Cfg, "", bench, pol)
+}
+
+// MustRun is Run with a background context, panicking on failure — the
+// thin wrapper experiment code uses, where a failed point is a bug in the
+// experiment itself. The panic value is the *RunError, so Experiment.RunSafe
+// recovers it losslessly.
+func (r *Runner) MustRun(bench string, pol sim.Policy) *sim.Result {
+	res, err := r.Run(context.Background(), bench, pol)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // RunCfg simulates with an explicit configuration. The memo key always
 // includes a full fingerprint of cfg, so two different configurations can
 // never alias a cache entry; cfgKey is a human-readable discriminator kept
-// for experiment labelling and stable memo keys across sweeps.
-func (r *Runner) RunCfg(cfg config.Config, cfgKey, bench string, pol sim.Policy) *sim.Result {
+// for experiment labelling and stable memo keys across sweeps. Only
+// successful results enter the memo cache and journal — a failed or
+// cancelled run leaves no partial entry behind. A non-nil error is always
+// a *RunError.
+func (r *Runner) RunCfg(ctx context.Context, cfg config.Config, cfgKey, bench string, pol sim.Policy) (*sim.Result, error) {
 	key := fmt.Sprintf("%s|%s|%s|%s", cfgKey, cfgFingerprint(&cfg), bench, pol.Name())
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return res
+		return res, nil
 	}
 	r.mu.Unlock()
 
-	r.sem <- struct{}{}
-	res := r.execute(cfg, bench, pol)
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
+			Phase: PhaseQueue, Err: context.Cause(ctx)}
+	}
+	res, err := r.execute(ctx, cfg, cfgKey, bench, pol)
 	<-r.sem
+	if err != nil {
+		return nil, err
+	}
 
 	r.mu.Lock()
 	r.cache[key] = res
+	j := r.journal
 	r.mu.Unlock()
+	if j != nil {
+		j.Record(key, res)
+	}
+	return res, nil
+}
+
+// MustRunCfg is RunCfg with a background context, panicking on failure.
+func (r *Runner) MustRunCfg(cfg config.Config, cfgKey, bench string, pol sim.Policy) *sim.Result {
+	res, err := r.RunCfg(context.Background(), cfg, cfgKey, bench, pol)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
-func (r *Runner) execute(cfg config.Config, bench string, pol sim.Policy) *sim.Result {
+// execute runs one simulation under the full fault barrier: panic
+// recovery, per-run deadline, forward-progress watchdog and cooperative
+// cancellation. All machine state in the returned *RunError (cycle,
+// snapshot) is read by this goroutine after the run loop has stopped, so
+// no diagnostic ever races the engine.
+func (r *Runner) execute(ctx context.Context, cfg config.Config, cfgKey, bench string, pol sim.Policy) (res *sim.Result, err error) {
+	rerr := &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey, Phase: PhaseSetup}
+	var g *sim.GPU
+	defer func() {
+		if p := recover(); p != nil {
+			rerr.Err = fmt.Errorf("%w: %v", ErrPanic, p)
+			rerr.Stack = string(debug.Stack())
+			if g != nil {
+				rerr.Cycle = g.Cycle()
+				rerr.Snapshot = safeDump(g)
+			}
+			res, err = nil, rerr
+		}
+	}()
+
 	b, ok := workload.ByName(bench)
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown benchmark %q", bench))
+		rerr.Err = fmt.Errorf("%w %q", ErrUnknownBench, bench)
+		return nil, rerr
 	}
-	g, err := sim.New(cfg, b.Kernel, pol)
-	if err != nil {
-		panic(fmt.Sprintf("harness: %s/%s: %v", bench, pol.Name(), err))
+	machine, serr := sim.New(cfg, b.Kernel, pol)
+	if serr != nil {
+		rerr.Err = fmt.Errorf("%w: %w", ErrBadConfig, serr)
+		return nil, rerr
 	}
+	g = machine
 	if cfg.Check {
 		check.Attach(g)
 	}
-	g.Run(r.cycles(&cfg))
-	return g.Collect()
+	chaos.Attach(g)
+	r.execs.Add(1)
+
+	runCtx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeoutCause(runCtx, r.Timeout, ErrTimeout)
+		defer cancel()
+	}
+	if r.WatchdogTick > 0 {
+		wdCtx, cancelCause := context.WithCancelCause(runCtx)
+		stop := startWatchdog(cancelCause, g, r.WatchdogTick)
+		defer func() {
+			stop()
+			cancelCause(nil)
+		}()
+		runCtx = wdCtx
+	}
+
+	rerr.Phase = PhaseRun
+	cyc, runErr := g.RunCtx(runCtx, r.cycles(&cfg))
+	if runErr != nil {
+		rerr.Cycle = cyc
+		rerr.Snapshot = safeDump(g)
+		rerr.Err = runErr
+		return nil, rerr
+	}
+	rerr.Phase = PhaseCollect
+	return g.Collect(), nil
+}
+
+// safeDump renders the diagnostic snapshot, never letting a dump of an
+// inconsistent (mid-panic) machine turn one failure into two.
+func safeDump(g *sim.GPU) (dump string) {
+	defer func() {
+		if recover() != nil {
+			dump = "(state dump unavailable: machine inconsistent)"
+		}
+	}()
+	return g.StateDump()
 }
 
 // swlSweepLimits returns the CTA limits Best-SWL tries.
@@ -139,15 +284,22 @@ func swlSweepLimits(maxResident int) []int {
 // BestSWL sweeps static CTA limits for the benchmark and returns the
 // best-performing limit and its result (the paper's Best-SWL oracle).
 // The full-residency limit (== plain baseline scheduling order) is part of
-// the sweep, so Best-SWL is never worse than baseline.
-func (r *Runner) BestSWL(bench string) (int, *sim.Result) {
-	b, _ := workload.ByName(bench)
+// the sweep, so Best-SWL is never worse than baseline. If any sweep point
+// fails, BestSWL fails: an oracle picked over a partial sweep would be
+// silently wrong, so the errors are joined and reported instead.
+func (r *Runner) BestSWL(ctx context.Context, bench string) (int, *sim.Result, error) {
+	b, ok := workload.ByName(bench)
+	if !ok {
+		return 0, nil, &RunError{Bench: bench, Policy: "Best-SWL", Phase: PhaseSetup,
+			Err: fmt.Errorf("%w %q", ErrUnknownBench, bench)}
+	}
 	maxRes := sim.MaxResidentCTAs(&r.Cfg.GPU, b.Kernel)
 	limits := swlSweepLimits(maxRes)
 
 	type out struct {
 		limit int
 		res   *sim.Result
+		err   error
 	}
 	results := make([]out, len(limits))
 	var wg sync.WaitGroup
@@ -155,35 +307,124 @@ func (r *Runner) BestSWL(bench string) (int, *sim.Result) {
 		wg.Add(1)
 		go func(i, lim int) {
 			defer wg.Done()
-			results[i] = out{lim, r.Run(bench, schemes.SWL{Limit: lim})}
+			res, err := r.Run(ctx, bench, schemes.SWL{Limit: lim})
+			results[i] = out{lim, res, err}
 		}(i, lim)
 	}
 	wg.Wait()
 
+	var errs []error
+	for _, o := range results {
+		if o.err != nil {
+			errs = append(errs, o.err)
+		}
+	}
+	if len(errs) > 0 {
+		return 0, nil, errors.Join(errs...)
+	}
 	best := results[0]
 	for _, o := range results[1:] {
 		if o.res.IPC() > best.res.IPC() {
 			best = o
 		}
 	}
-	return best.limit, best.res
+	return best.limit, best.res, nil
+}
+
+// MustBestSWL is BestSWL with a background context, panicking on failure.
+func (r *Runner) MustBestSWL(bench string) (int, *sim.Result) {
+	lim, res, err := r.BestSWL(context.Background(), bench)
+	if err != nil {
+		panic(err)
+	}
+	return lim, res
+}
+
+// Sweep is the outcome of a per-benchmark sweep. Failed points are never
+// silently zeroed: Vals[i] is only meaningful where Errs[i] is nil, and
+// every error is reported (as a *RunError where the failure came from the
+// run engine).
+type Sweep struct {
+	// Benches lists the benchmark names in Table 2 order.
+	Benches []string
+	// Vals holds the per-benchmark values; Vals[i] is valid iff
+	// Errs[i] == nil.
+	Vals []float64
+	// Errs holds the per-benchmark failures (nil for successful points).
+	Errs []error
+}
+
+// Failed returns the benchmarks whose points failed, in sweep order.
+func (s *Sweep) Failed() []string {
+	var out []string
+	for i, err := range s.Errs {
+		if err != nil {
+			out = append(out, s.Benches[i])
+		}
+	}
+	return out
+}
+
+// Err joins every point failure (nil when the sweep fully succeeded).
+func (s *Sweep) Err() error { return errors.Join(s.Errs...) }
+
+// OKVals returns the values of the successful points only.
+func (s *Sweep) OKVals() []float64 {
+	var out []float64
+	for i, err := range s.Errs {
+		if err == nil {
+			out = append(out, s.Vals[i])
+		}
+	}
+	return out
 }
 
 // ForEachBench runs fn concurrently for every benchmark name and collects
-// per-benchmark values in Table 2 order.
-func (r *Runner) ForEachBench(fn func(bench string) float64) []float64 {
+// per-benchmark values in Table 2 order. A failed point is recorded in the
+// sweep's Errs slice and skipped; it never aborts the other benchmarks, so
+// one bad point cannot take down a fleet-sized campaign.
+func (r *Runner) ForEachBench(ctx context.Context, fn func(ctx context.Context, bench string) (float64, error)) *Sweep {
 	names := workload.Names()
-	out := make([]float64, len(names))
+	s := &Sweep{
+		Benches: names,
+		Vals:    make([]float64, len(names)),
+		Errs:    make([]error, len(names)),
+	}
 	var wg sync.WaitGroup
 	for i, name := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			out[i] = fn(name)
+			defer func() {
+				// fn is caller code: isolate its panics exactly like the
+				// engine's own, so a sweep survives a bad closure too.
+				if p := recover(); p != nil {
+					if re, ok := p.(*RunError); ok {
+						s.Errs[i] = re
+						return
+					}
+					s.Errs[i] = &RunError{Bench: name, Phase: PhaseRun,
+						Err: fmt.Errorf("%w: %v", ErrPanic, p), Stack: string(debug.Stack())}
+				}
+			}()
+			s.Vals[i], s.Errs[i] = fn(ctx, name)
 		}(i, name)
 	}
 	wg.Wait()
-	return out
+	return s
+}
+
+// MustForEachBench is ForEachBench for infallible experiment closures: fn
+// may use the Must* run methods freely — a panicking point surfaces as the
+// sweep panic — and the values come back as a plain slice.
+func (r *Runner) MustForEachBench(fn func(bench string) float64) []float64 {
+	s := r.ForEachBench(context.Background(), func(_ context.Context, bench string) (float64, error) {
+		return fn(bench), nil
+	})
+	if err := s.Err(); err != nil {
+		panic(err)
+	}
+	return s.Vals
 }
 
 // Speedup returns a.IPC()/b.IPC().

@@ -19,8 +19,8 @@ func TestRunCfgNoConfigAliasing(t *testing.T) {
 	large.GPU.L1Bytes = 128 * 1024
 
 	// Identical cfgKey ("") and (bench, policy) on purpose.
-	resSmall := r.RunCfg(small, "", "S2", sim.Baseline{})
-	resLarge := r.RunCfg(large, "", "S2", sim.Baseline{})
+	resSmall := r.MustRunCfg(small, "", "S2", sim.Baseline{})
+	resLarge := r.MustRunCfg(large, "", "S2", sim.Baseline{})
 
 	if resSmall == resLarge {
 		t.Fatal("different configs aliased to one memoised result")
@@ -30,7 +30,7 @@ func TestRunCfgNoConfigAliasing(t *testing.T) {
 	}
 
 	// Same config twice must still memoise (pointer-identical result).
-	if again := r.RunCfg(small, "", "S2", sim.Baseline{}); again != resSmall {
+	if again := r.MustRunCfg(small, "", "S2", sim.Baseline{}); again != resSmall {
 		t.Fatal("identical config re-ran instead of hitting the memo")
 	}
 }
@@ -38,8 +38,8 @@ func TestRunCfgNoConfigAliasing(t *testing.T) {
 // TestRunCfgKeyIncludesPolicy guards the rest of the key.
 func TestRunCfgKeyIncludesPolicy(t *testing.T) {
 	r := NewRunner(BenchConfig(), 2)
-	a := r.Run("S2", sim.Baseline{})
-	b := r.Run("BI", sim.Baseline{})
+	a := r.MustRun("S2", sim.Baseline{})
+	b := r.MustRun("BI", sim.Baseline{})
 	if a == b {
 		t.Fatal("different benchmarks aliased")
 	}

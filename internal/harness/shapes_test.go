@@ -25,10 +25,10 @@ func TestPaperShapesQuick(t *testing.T) {
 
 	var lbS, baseS, cerfConfS, lbConfS []float64
 	for _, name := range shapeSample {
-		base := r.Run(name, sim.Baseline{})
-		lbr := r.Run(name, core.New())
-		cerf := r.Run(name, schemes.CERF{})
-		_, swl := r.BestSWL(name)
+		base := r.MustRun(name, sim.Baseline{})
+		lbr := r.MustRun(name, core.New())
+		cerf := r.MustRun(name, schemes.CERF{})
+		_, swl := r.MustBestSWL(name)
 
 		lbS = append(lbS, Speedup(lbr, swl))
 		baseS = append(baseS, Speedup(base, swl))
@@ -82,8 +82,8 @@ func TestSeedStability(t *testing.T) {
 		cfg := BenchConfig()
 		cfg.Seed = seed
 		r := NewRunner(cfg, 12)
-		base := r.Run("BC", sim.Baseline{})
-		lbr := r.Run("BC", core.New())
+		base := r.MustRun("BC", sim.Baseline{})
+		lbr := r.MustRun("BC", core.New())
 		if sp := Speedup(lbr, base); sp < 1.05 {
 			t.Errorf("seed %d: LB speedup %.3f degenerate", seed, sp)
 		}

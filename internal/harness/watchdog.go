@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// startWatchdog monitors one run for forward progress: every tick it reads
+// the GPU's published committed-instruction count (an atomic — the only
+// cross-goroutine view of a running machine) and cancels the run's context
+// with an ErrWatchdog cause when two consecutive ticks observe the same
+// value. The simulation goroutine notices the cancellation at its next
+// window boundary and returns the error itself, so all diagnostic state
+// (cycle, StateDump) is read race-free by the goroutine that owns the
+// machine.
+//
+// The returned stop function must be called when the run ends; it waits for
+// the watchdog goroutine to exit.
+func startWatchdog(cancel context.CancelCauseFunc, g *sim.GPU, tick time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		// Seed below any real count so the first tick never trips: the run
+		// gets at least one full tick to publish its first checkpoint.
+		last := int64(-1)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				p := g.Progress()
+				if p == last {
+					cancel(fmt.Errorf("%w: %d instructions committed after a further %v",
+						ErrWatchdog, p, tick))
+					return
+				}
+				last = p
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

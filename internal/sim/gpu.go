@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/linebacker-sim/linebacker/internal/cache"
 	"github.com/linebacker-sim/linebacker/internal/config"
@@ -46,6 +48,12 @@ type GPU struct {
 	cycle   int64
 
 	checker CycleChecker
+	faults  FaultInjector
+
+	// progress publishes the cumulative committed-instruction count at
+	// RunCtx checkpoints. It is the only GPU state a harness watchdog may
+	// read concurrently with a running simulation.
+	progress atomic.Int64
 }
 
 // CycleChecker observes the GPU at the end of simulated cycles. A non-nil
@@ -58,6 +66,24 @@ type CycleChecker interface {
 
 // SetChecker installs (or, with nil, removes) the cycle checker.
 func (g *GPU) SetChecker(c CycleChecker) { g.checker = c }
+
+// FaultInjector observes each Step stage as it is about to execute and may
+// mutate the machine or panic — the hook internal/chaos implements to force
+// failures at exact (stage, cycle) points. A nil injector costs one pointer
+// compare per stage.
+type FaultInjector interface {
+	Stage(g *GPU, stage string, cycle int64)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector.
+func (g *GPU) SetFaultInjector(f FaultInjector) { g.faults = f }
+
+// stage notifies the fault injector that the named Step phase is starting.
+func (g *GPU) stage(name string, cyc int64) {
+	if g.faults != nil {
+		g.faults.Stage(g, name, cyc)
+	}
+}
 
 // New builds a GPU run. The config is copied; policies may adjust per-SM
 // structures in Attach.
@@ -125,19 +151,67 @@ func (g *GPU) Config() *config.Config { return &g.cfg }
 // cfg.MaxCycles; if that is also 0, run to completion). It returns the
 // final cycle count.
 func (g *GPU) Run(maxCycles int64) int64 {
+	// A background context never cancels, so RunCtx cannot fail.
+	cyc, _ := g.RunCtx(context.Background(), maxCycles)
+	return cyc
+}
+
+// checkpointCycles bounds the interval between cooperative cancellation
+// checks: every monitoring-window boundary, and at least this often for
+// large windows so a cancelled or watchdog-aborted run reacts promptly.
+const checkpointCycles = 8192
+
+// RunCtx simulates until the grid completes, maxCycles elapses (0 means use
+// cfg.MaxCycles; if that is also 0, run to completion) or ctx is cancelled.
+// Cancellation is cooperative: ctx is consulted at monitoring-window
+// boundaries (more often for very long windows), where the engine also
+// publishes its committed-instruction count for external watchdogs (see
+// Progress). On cancellation the returned error wraps context.Cause(ctx)
+// and the machine is left in a consistent between-cycles state — Collect
+// and StateDump remain safe, but the run must not be resumed.
+func (g *GPU) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 	if maxCycles == 0 {
 		maxCycles = g.cfg.MaxCycles
 	}
+	every := int64(g.cfg.LB.WindowCycles)
+	if every <= 0 || every > checkpointCycles {
+		every = checkpointCycles
+	}
+	g.progress.Store(g.committed())
 	for {
 		if maxCycles > 0 && g.cycle >= maxCycles {
-			return g.cycle
+			g.progress.Store(g.committed())
+			return g.cycle, nil
 		}
 		if g.done() {
-			return g.cycle
+			g.progress.Store(g.committed())
+			return g.cycle, nil
 		}
 		g.Step()
+		if g.cycle%every == 0 {
+			g.progress.Store(g.committed())
+			if ctx.Err() != nil {
+				return g.cycle, fmt.Errorf("sim: run aborted at cycle %d: %w", g.cycle, context.Cause(ctx))
+			}
+		}
 	}
 }
+
+// committed returns the cumulative retired warp instructions over all SMs.
+func (g *GPU) committed() int64 {
+	var n int64
+	for _, sm := range g.sms {
+		n += sm.Stats.Retired
+	}
+	return n
+}
+
+// Progress returns the committed-instruction count published at the last
+// RunCtx checkpoint. Safe to call from other goroutines while the
+// simulation runs; a watchdog that sees the same value across a wall-clock
+// tick is observing a livelocked machine (cycles may still be retiring, but
+// no instruction commits).
+func (g *GPU) Progress() int64 { return g.progress.Load() }
 
 // done reports grid completion: all CTAs dispatched and all SMs drained.
 func (g *GPU) done() bool {
@@ -157,8 +231,10 @@ func (g *GPU) done() bool {
 func (g *GPU) Step() {
 	cyc := g.cycle
 
+	g.stage("dispatch", cyc)
 	g.dispatch(cyc)
 
+	g.stage("sm", cyc)
 	for _, sm := range g.sms {
 		sm.tick(cyc)
 		for _, req := range sm.drainOutbox() {
@@ -167,21 +243,25 @@ func (g *GPU) Step() {
 	}
 
 	// Requests arriving at L2.
+	g.stage("l2", cyc)
 	g.l2Queue = append(g.l2Queue, g.toL2.Deliver(cyc)...)
 	g.serviceL2(cyc)
 
 	// DRAM.
+	g.stage("dram", cyc)
 	for _, req := range g.dram.Tick(cyc) {
 		g.dramComplete(req, cyc)
 	}
 
 	// Responses arriving at SMs.
+	g.stage("response", cyc)
 	for _, req := range g.fromL2.Deliver(cyc) {
 		g.sms[req.SM].handleResponse(req, cyc)
 	}
 
 	if g.checker != nil {
 		if err := g.checker.CheckCycle(g, cyc); err != nil {
+			//lbvet:panic an invariant violation means the engine mis-accounted; the harness isolates this per run
 			panic(fmt.Sprintf("sim: invariant violation at cycle %d: %v", cyc, err))
 		}
 	}
@@ -252,6 +332,7 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 		}
 		return true
 	default:
+		//lbvet:panic unreachable by construction: only the four Kinds above are ever enqueued
 		panic(fmt.Sprintf("sim: unexpected request kind %v at L2", req.Kind))
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
+
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/stats"
 )
@@ -98,3 +101,24 @@ func (sm *SM) SumMemPending() int {
 
 // OutboxLen returns the requests queued for hand-off to the interconnect.
 func (sm *SM) OutboxLen() int { return len(sm.outbox) }
+
+// StateDump renders a deterministic one-look diagnostic snapshot of the
+// machine's in-flight state: where every queue stands and what each SM has
+// committed. Harness RunErrors attach it so a watchdog abort or recovered
+// panic reports *where* the machine wedged, not just that it did. The dump
+// only reads engine state; it is safe between Steps and after a recovered
+// panic.
+func (g *GPU) StateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d ctas=%d/%d committed=%d\n",
+		g.cycle, g.nextCTA, g.kernel.GridCTAs, g.committed())
+	fmt.Fprintf(&b, "icnt: toL2=%d fromL2=%d | l2: queue=%d waiterLines=%d | dram: queue=%d inflight=%d stalled=%v\n",
+		g.toL2.Pending(), g.fromL2.Pending(), len(g.l2Queue), len(g.l2Waiters),
+		g.dram.QueueLen(), g.dram.Inflight(), g.dram.Stalled())
+	for _, sm := range g.sms {
+		fmt.Fprintf(&b, "SM%d: retired=%d resident=%d outbox=%d lsu=%d waitLines=%d waitEntries=%d memPending=%d\n",
+			sm.id, sm.Stats.Retired, sm.ResidentCTAs(), len(sm.outbox), len(sm.lsu),
+			sm.WaiterLines(), sm.WaiterEntries(), sm.SumMemPending())
+	}
+	return b.String()
+}

@@ -206,6 +206,7 @@ func (sm *SM) FreeSlot() int {
 // match the completion in OnRegResponse.
 func (sm *SM) SendRegTraffic(kind memtypes.Kind, rn int, cycle int64) *memtypes.Request {
 	if kind != memtypes.RegBackup && kind != memtypes.RegRestore {
+		//lbvet:panic caller bug, not a run-time condition: only the two register kinds are valid here
 		panic(fmt.Sprintf("sim: SendRegTraffic kind %v", kind))
 	}
 	const backupRegion = uint64(1) << 60
@@ -221,6 +222,7 @@ func (sm *SM) SendRegTraffic(kind memtypes.Kind, rn int, cycle int64) *memtypes.
 // ReserveCTARegs.
 func (sm *SM) ReleaseCTARegs(slot int) {
 	if !sm.ctas[slot].Resident {
+		//lbvet:panic policy bug, not a run-time condition: releasing an unoccupied slot is mis-accounting
 		panic(fmt.Sprintf("sim: ReleaseCTARegs on empty slot %d", slot))
 	}
 	sm.rf.Free(slot)
@@ -231,6 +233,7 @@ func (sm *SM) ReleaseCTARegs(slot int) {
 // be restored, updating the slot's FRN.
 func (sm *SM) ReserveCTARegs(slot, count int) (first int, ok bool) {
 	if !sm.ctas[slot].Resident {
+		//lbvet:panic policy bug, not a run-time condition: reserving into an unoccupied slot is mis-accounting
 		panic(fmt.Sprintf("sim: ReserveCTARegs on empty slot %d", slot))
 	}
 	first, ok = sm.rf.Alloc(slot, count)

@@ -17,11 +17,13 @@
 package linebacker
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"github.com/linebacker-sim/linebacker/internal/chaos"
 	"github.com/linebacker-sim/linebacker/internal/check"
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/core"
@@ -189,7 +191,8 @@ func NewScheme(spec string) (Policy, error) {
 // New builds a simulation of the kernel under the policy without running it
 // (for callers that want to step or probe). When cfg.Check is set, the
 // runtime invariant checker rides along and any conservation-law violation
-// aborts the run.
+// aborts the run. When cfg.Chaos arms a fault, the deterministic chaos
+// injector rides along too (see internal/chaos).
 func New(cfg Config, k *Kernel, pol Policy) (*GPU, error) {
 	g, err := sim.New(cfg, k, pol)
 	if err != nil {
@@ -198,6 +201,7 @@ func New(cfg Config, k *Kernel, pol Policy) (*GPU, error) {
 	if cfg.Check {
 		check.Attach(g)
 	}
+	chaos.Attach(g)
 	return g, nil
 }
 
@@ -205,11 +209,20 @@ func New(cfg Config, k *Kernel, pol Policy) (*GPU, error) {
 // monitoring windows (0 = run the kernel to completion) and collects the
 // result.
 func Run(cfg Config, k *Kernel, pol Policy, windows int) (*Result, error) {
+	return RunContext(context.Background(), cfg, k, pol, windows)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation checks
+// ctx at every window boundary and aborts with the cancellation cause. A
+// cancelled run returns no partial result.
+func RunContext(ctx context.Context, cfg Config, k *Kernel, pol Policy, windows int) (*Result, error) {
 	g, err := New(cfg, k, pol)
 	if err != nil {
 		return nil, err
 	}
-	g.Run(int64(windows) * int64(cfg.LB.WindowCycles))
+	if _, err := g.RunCtx(ctx, int64(windows)*int64(cfg.LB.WindowCycles)); err != nil {
+		return nil, err
+	}
 	return g.Collect(), nil
 }
 
