@@ -46,9 +46,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		checkFlag  = fs.Bool("check", false, "sweep runtime conservation invariants every cycle; abort on violation")
 		timeout    = fs.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 or stall-dram:2000 (see internal/chaos)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliutil.WrapParse(err)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, perr := cliutil.StartProfiles(*cpuProfile, *memProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if perr := stop(); perr != nil {
+				fmt.Fprintln(stderr, "lbsim:", perr)
+			}
+		}()
 	}
 
 	if *list {

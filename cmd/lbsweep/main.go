@@ -44,17 +44,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mode      = fs.String("mode", "swl", "sweep: swl | cache | vtt")
-		bench     = fs.String("bench", "S2", "benchmark code")
-		scheme    = fs.String("scheme", "linebacker", "scheme for the cache sweep")
-		windows   = fs.Int("windows", 16, "run length in monitoring windows")
-		paper     = fs.Bool("paper", false, "full Table 1 scale")
-		timeout   = fs.Duration("timeout", 0, "wall-clock limit per point (0 = none)")
-		journal   = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
-		chaosSpec = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
+		mode       = fs.String("mode", "swl", "sweep: swl | cache | vtt")
+		bench      = fs.String("bench", "S2", "benchmark code")
+		scheme     = fs.String("scheme", "linebacker", "scheme for the cache sweep")
+		windows    = fs.Int("windows", 16, "run length in monitoring windows")
+		paper      = fs.Bool("paper", false, "full Table 1 scale")
+		timeout    = fs.Duration("timeout", 0, "wall-clock limit per point (0 = none)")
+		journal    = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
+		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliutil.WrapParse(err)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, perr := cliutil.StartProfiles(*cpuProfile, *memProfile)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if perr := stop(); perr != nil {
+				fmt.Fprintln(stderr, "lbsweep:", perr)
+			}
+		}()
 	}
 
 	b, ok := linebacker.Benchmark(*bench)

@@ -1,0 +1,172 @@
+// Package benchkit holds the benchmark bodies of the simulator's
+// performance trajectory. The same bodies back the root-level
+// `go test -bench 'Micro|Macro'` wrappers and the machine-readable
+// BENCH_PR4.json emitter (see benchjson_test.go at the repo root), so the
+// numbers in the artifact are always produced by exactly the code a `-bench`
+// run exercises.
+//
+// Two tiers:
+//
+//   - micro: the per-cycle hot paths — cache access (L1 geometry), one full
+//     GPU.Step (which contains the SM tick), and the interconnect link.
+//     These are the paths the pooling/ring-buffer work targets; ns/op and
+//     allocs/op here are the regression currency.
+//   - macro: one full Figure 12 bench run — a single cache-sensitive
+//     benchmark (S2) through the figure's policy set (baseline, Best-SWL
+//     sweep, PCAL, CERF, Linebacker) on a fresh runner, i.e. real end-to-end
+//     experiment regeneration with no memo hits.
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+	"github.com/linebacker-sim/linebacker/internal/icnt"
+	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/schemes"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// macroBench is the cache-sensitive benchmark the macro tier runs.
+const macroBench = "S2"
+
+// CacheLoad exercises the L1 access path on the Table 1 geometry with a
+// deterministic mixed hit/miss stream: a resident working set re-touched
+// between misses, outstanding fills drained so the MSHRs never saturate.
+func CacheLoad(b *testing.B) {
+	c := cache.New(48*1024, 8, 64, false)
+	const resident = 128 // lines re-touched between misses (always hitting)
+	for i := 0; i < resident; i++ {
+		l := memtypes.LineAddr(i * memtypes.LineSize)
+		c.Load(l, uint32(i), true)
+		c.Fill(l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	next := uint64(resident)
+	for i := 0; i < b.N; i++ {
+		if i%4 == 3 {
+			// Cold miss: allocate, then complete the fill immediately.
+			l := memtypes.LineAddr(next * memtypes.LineSize)
+			next++
+			c.Load(l, uint32(i), true)
+			c.Fill(l)
+		} else {
+			l := memtypes.LineAddr(uint64(i%resident) * memtypes.LineSize)
+			c.Load(l, uint32(i), true)
+		}
+	}
+}
+
+// CacheStore exercises the store path (write-evict L1 policy) against a
+// stream of store hits and misses.
+func CacheStore(b *testing.B) {
+	c := cache.New(48*1024, 8, 64, false)
+	const resident = 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := memtypes.LineAddr(uint64(i%resident) * memtypes.LineSize)
+		if i%2 == 0 {
+			c.Load(l, uint32(i), true)
+			c.Fill(l)
+		} else {
+			c.Store(l)
+		}
+	}
+}
+
+// GPUStep measures one whole-machine cycle (dispatch, every SM tick, icnt,
+// L2, DRAM) in steady state on the fast 4-SM configuration running the
+// macro benchmark under the baseline policy. One op == one simulated cycle,
+// so sim-cycles/sec = 1e9 / ns_per_op.
+func GPUStep(b *testing.B) {
+	bench, ok := workload.ByName(macroBench)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", macroBench)
+	}
+	cfg := harness.BenchConfig()
+	build := func() *sim.GPU {
+		g, err := sim.New(cfg, bench.Kernel, sim.Baseline{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the machine past the launch transient so the measured cycles
+		// carry live memory traffic.
+		g.Run(2000)
+		return g
+	}
+	g := build()
+	const rebuildEvery = 200_000 // stay well inside the grid's runtime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%rebuildEvery == 0 {
+			b.StopTimer()
+			g = build()
+			b.StartTimer()
+		}
+		g.Step()
+	}
+}
+
+// IcntLink measures the SM↔L2 link: four sends and one delivery sweep per
+// op, with the drain offset by the link latency so the queue stays in steady
+// state — the engine-facing traffic pattern of one busy cycle.
+func IcntLink(b *testing.B) {
+	const latency = 12
+	l := icnt.New(latency, 8)
+	reqs := make([]*memtypes.Request, 64)
+	for i := range reqs {
+		reqs[i] = &memtypes.Request{Line: memtypes.LineAddr(i * memtypes.LineSize), Kind: memtypes.Load}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cyc := int64(i)
+		for k := 0; k < 4; k++ {
+			l.Send(reqs[(i*4+k)%len(reqs)], cyc)
+		}
+		deliverAll(l, cyc)
+	}
+	// Drain so Pending-based leak checks in callers stay clean.
+	deliverAll(l, int64(b.N)+latency)
+}
+
+// deliverAll drains every request ready at the cycle.
+func deliverAll(l *icnt.Link, cyc int64) {
+	for len(l.Deliver(cyc)) > 0 {
+	}
+}
+
+// MacroFig12Bench regenerates one Figure 12 column set end to end: the
+// macro benchmark under baseline, the full Best-SWL limit sweep, PCAL, CERF
+// and Linebacker, on a fresh runner (16 windows, 4-SM fast config) so
+// nothing is memoised. This is the macro-tier trajectory number: wall-clock
+// per full experiment regeneration.
+func MacroFig12Bench(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(harness.BenchConfig(), 16)
+		ctx := context.Background()
+		if _, err := r.Run(ctx, macroBench, sim.Baseline{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.BestSWL(ctx, macroBench); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(ctx, macroBench, schemes.PCAL{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(ctx, macroBench, schemes.CERF{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(ctx, macroBench, core.New()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 )
@@ -95,6 +96,12 @@ type Cache struct {
 	ways  int
 	lines []line // sets*ways, row-major by set
 
+	// setMask indexes sets by AND when the set count is a power of two
+	// (every L2 geometry in Table 1); setPow2 gates the fallback modulo for
+	// the others (the 48 KB / 8-way L1 has 48 sets).
+	setMask uint64
+	setPow2 bool
+
 	mshrCap int
 	mshr    map[memtypes.LineAddr]*MSHREntry
 
@@ -102,10 +109,76 @@ type Cache struct {
 
 	// seen records every line address ever requested, to split cold from
 	// capacity/conflict misses (Figure 1).
-	seen map[memtypes.LineAddr]struct{}
+	seen lineSet
 
 	stamp int64
 	Stats Stats
+}
+
+// lineSet is an exact, open-addressed (linear-probe) set of line addresses.
+// It replaces a map[LineAddr]struct{} on the per-access classification path:
+// same answers, no per-insert bucket allocation, and about half the memory.
+// The zero value is an empty set; address 0 is held out-of-table because an
+// empty slot is encoded as 0.
+type lineSet struct {
+	slots   []memtypes.LineAddr
+	shift   uint // 64 - log2(len(slots)); Fibonacci-hash high bits
+	n       int
+	hasZero bool
+}
+
+// Add inserts l, reporting whether it was absent (first-ever touch).
+func (s *lineSet) Add(l memtypes.LineAddr) bool {
+	if l == 0 {
+		added := !s.hasZero
+		s.hasZero = true
+		return added
+	}
+	if (s.n+1)*4 > len(s.slots)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := (uint64(l) * 0x9E3779B97F4A7C15) >> s.shift
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = l
+			s.n++
+			return true
+		case l:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Len returns the number of distinct addresses recorded.
+func (s *lineSet) Len() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}
+
+func (s *lineSet) grow() {
+	newLen := 256
+	if len(s.slots) > 0 {
+		newLen = len(s.slots) * 2
+	}
+	old := s.slots
+	s.slots = make([]memtypes.LineAddr, newLen)
+	s.shift = uint(64 - bits.TrailingZeros(uint(newLen)))
+	mask := uint64(newLen - 1)
+	for _, l := range old {
+		if l == 0 {
+			continue
+		}
+		i := (uint64(l) * 0x9E3779B97F4A7C15) >> s.shift
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = l
+	}
 }
 
 // MSHREntry tracks one outstanding fill.
@@ -123,14 +196,25 @@ func New(sizeBytes, ways, mshrs int, writeAllocate bool) *Cache {
 		panic(fmt.Sprintf("cache: %d B not divisible into %d-way sets", sizeBytes, ways))
 	}
 	sets := sizeBytes / (memtypes.LineSize * ways)
-	return &Cache{
+	c := &Cache{
 		sets:          sets,
 		ways:          ways,
 		lines:         make([]line, sets*ways),
 		mshrCap:       mshrs,
 		mshr:          make(map[memtypes.LineAddr]*MSHREntry),
 		writeAllocate: writeAllocate,
-		seen:          make(map[memtypes.LineAddr]struct{}),
+	}
+	c.initGeometry()
+	return c
+}
+
+// initGeometry precomputes the set-index mask for power-of-two set counts.
+func (c *Cache) initGeometry() {
+	c.setPow2 = c.sets&(c.sets-1) == 0
+	if c.setPow2 {
+		c.setMask = uint64(c.sets - 1)
+	} else {
+		c.setMask = 0
 	}
 }
 
@@ -142,7 +226,11 @@ func (c *Cache) Ways() int { return c.ways }
 
 // SetIndex returns the set index for a line address.
 func (c *Cache) SetIndex(l memtypes.LineAddr) int {
-	return int((uint64(l) / memtypes.LineSize) % uint64(c.sets))
+	n := uint64(l) / memtypes.LineSize
+	if c.setPow2 {
+		return int(n & c.setMask)
+	}
+	return int(n % uint64(c.sets))
 }
 
 // Probe reports whether the line is present and filled, without touching
@@ -173,33 +261,41 @@ func (c *Cache) HasOutstanding(l memtypes.LineAddr) bool {
 }
 
 func (c *Cache) find(l memtypes.LineAddr) *line {
-	set := c.SetIndex(l)
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[set*c.ways+w]
-		if ln.valid && ln.tag == l {
+	base := c.SetIndex(l) * c.ways
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if ln := &set[w]; ln.valid && ln.tag == l {
 			return ln
 		}
 	}
 	return nil
 }
 
-// victimWay picks the LRU way in the set, preferring invalid ways and never
-// choosing a pending (reserved) way. Returns nil if every way is pending.
-func (c *Cache) victimWay(set int) *line {
-	var victim *line
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[set*c.ways+w]
-		if ln.pending {
-			continue
-		}
-		if !ln.valid {
-			return ln
-		}
-		if victim == nil || ln.lru < victim.lru {
+// scan walks the set once and returns both the matching line (if resident)
+// and the replacement victim, fusing the separate find + victimWay passes
+// the access paths used to make. Victim selection is identical to victimWay:
+// the first invalid way wins, else the lowest-LRU non-pending way (earliest
+// way on ties), nil when every way is pending. victim is meaningless when
+// hit != nil (the scan stops at the match).
+func (c *Cache) scan(l memtypes.LineAddr) (hit, victim *line) {
+	base := c.SetIndex(l) * c.ways
+	set := c.lines[base : base+c.ways]
+	sawInvalid := false
+	for w := range set {
+		ln := &set[w]
+		if ln.valid {
+			if ln.tag == l {
+				return ln, nil
+			}
+			if !sawInvalid && !ln.pending && (victim == nil || ln.lru < victim.lru) {
+				victim = ln
+			}
+		} else if !sawInvalid && !ln.pending {
 			victim = ln
+			sawInvalid = true
 		}
 	}
-	return victim
+	return nil, victim
 }
 
 // Load performs a load access for the given line. hpc is the hashed PC of
@@ -212,7 +308,8 @@ func (c *Cache) victimWay(set int) *line {
 // can offer it to a victim cache.
 func (c *Cache) Load(l memtypes.LineAddr, hpc uint32, allocate bool) (Result, Eviction, bool) {
 	c.stamp++
-	if ln := c.find(l); ln != nil {
+	ln, victim := c.scan(l)
+	if ln != nil {
 		ln.lru = c.stamp
 		ln.hpc = hpc
 		if ln.pending {
@@ -244,8 +341,6 @@ func (c *Cache) Load(l memtypes.LineAddr, hpc uint32, allocate bool) (Result, Ev
 		c.mshr[l] = &MSHREntry{Line: l}
 		return MissNoAlloc, Eviction{}, false
 	}
-	set := c.SetIndex(l)
-	victim := c.victimWay(set)
 	if victim == nil {
 		// Every way reserved by in-flight fills: fetch without allocating.
 		c.Stats.Bypasses++
@@ -292,7 +387,8 @@ func (c *Cache) Fill(l memtypes.LineAddr) *MSHREntry {
 func (c *Cache) Store(l memtypes.LineAddr) (Result, Eviction, bool) {
 	c.stamp++
 	c.classifySeenOnly(l)
-	if ln := c.find(l); ln != nil {
+	ln, victim := c.scan(l)
+	if ln != nil {
 		if c.writeAllocate {
 			if !ln.pending {
 				ln.dirty = true
@@ -301,8 +397,15 @@ func (c *Cache) Store(l memtypes.LineAddr) (Result, Eviction, bool) {
 			c.Stats.StoreHits++
 			return Hit, Eviction{}, false
 		}
-		// Write-evict: invalidate on hit.
-		*ln = line{}
+		// Write-evict: invalidate on hit — but never a pending line, whose
+		// way is reserved by an in-flight fill (the same guard Invalidate
+		// applies). Clobbering it would free the reservation while the
+		// Allocated MSHR entry survives, so the later Fill would find no
+		// line and the way accounting would be wrong. The store is
+		// forwarded below either way.
+		if !ln.pending {
+			*ln = line{}
+		}
 		c.Stats.StoreHits++
 		return Hit, Eviction{}, false
 	}
@@ -310,8 +413,6 @@ func (c *Cache) Store(l memtypes.LineAddr) (Result, Eviction, bool) {
 	if !c.writeAllocate {
 		return MissNoAlloc, Eviction{}, false
 	}
-	set := c.SetIndex(l)
-	victim := c.victimWay(set)
 	if victim == nil {
 		return MissNoAlloc, Eviction{}, false
 	}
@@ -341,16 +442,15 @@ func (c *Cache) Invalidate(l memtypes.LineAddr) bool {
 
 // classifyMiss records whether a load miss is cold or capacity/conflict.
 func (c *Cache) classifyMiss(l memtypes.LineAddr) {
-	if _, ok := c.seen[l]; ok {
-		c.Stats.CapConfMisses++
-	} else {
+	if c.seen.Add(l) {
 		c.Stats.ColdMisses++
-		c.seen[l] = struct{}{}
+	} else {
+		c.Stats.CapConfMisses++
 	}
 }
 
 func (c *Cache) classifySeenOnly(l memtypes.LineAddr) {
-	c.seen[l] = struct{}{}
+	c.seen.Add(l)
 }
 
 // ResetStats zeroes counters but keeps contents (used at window boundaries).
@@ -381,4 +481,5 @@ func (c *Cache) Resize(sizeBytes int) {
 	c.sets = sizeBytes / (memtypes.LineSize * c.ways)
 	c.lines = make([]line, c.sets*c.ways)
 	c.mshr = make(map[memtypes.LineAddr]*MSHREntry)
+	c.initGeometry()
 }

@@ -129,6 +129,32 @@ func TestWriteEvictStoreHitInvalidates(t *testing.T) {
 	}
 }
 
+// TestWriteEvictStoreOnPendingLine is the regression test for the
+// write-evict store bug: a store hitting a *pending* line used to
+// invalidate it, freeing the way reserved by the in-flight fill while the
+// Allocated MSHR entry survived — Fill then found no line to complete and
+// the reservation accounting was wrong. The pending line must survive the
+// store, exactly as Invalidate guards it.
+func TestWriteEvictStoreOnPendingLine(t *testing.T) {
+	c := New(1024, 2, 8, false)
+	a := lineAt(0, 0, c)
+	mustLoad(t, c, a, Miss) // allocates a way, fill in flight
+	if r, _, _ := c.Store(a); r != Hit {
+		t.Fatalf("store on pending line = %v, want Hit", r)
+	}
+	if c.OutstandingFills() != 1 {
+		t.Fatalf("outstanding fills = %d, want 1", c.OutstandingFills())
+	}
+	e := c.Fill(a)
+	if e == nil || !e.Allocated {
+		t.Fatalf("Fill = %+v, want allocated entry", e)
+	}
+	if !c.Probe(a) {
+		t.Fatal("line reserved by the in-flight fill was lost: store on a pending line must not invalidate it")
+	}
+	mustLoad(t, c, a, Hit)
+}
+
 func TestWriteAllocateStores(t *testing.T) {
 	c := New(1024, 2, 8, true)
 	a := lineAt(0, 0, c)
@@ -348,4 +374,26 @@ func TestHashPCBadBitsPanics(t *testing.T) {
 		}
 	}()
 	memtypes.HashPC(1, 0)
+}
+
+// TestLoadAllocCeiling pins the steady-state allocation cost of Load: a
+// warm hit touches no heap at all, and a classified miss only pays the MSHR
+// entry (the seen-set is open-addressed, not a map). The ceiling exists to
+// catch a regression back to per-access map/bucket allocation.
+func TestLoadAllocCeiling(t *testing.T) {
+	c := New(48*1024, 8, 64, false)
+	const resident = 128
+	for i := 0; i < resident; i++ {
+		l := memtypes.LineAddr(i * memtypes.LineSize)
+		c.Load(l, 0, true)
+		c.Fill(l)
+	}
+	i := 0
+	perOp := testing.AllocsPerRun(4096, func() {
+		c.Load(memtypes.LineAddr((i%resident)*memtypes.LineSize), 0, true)
+		i++
+	})
+	if perOp > 0 {
+		t.Errorf("warm-hit Load allocates %.3f objects/op, want 0", perOp)
+	}
 }

@@ -15,6 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/linebacker-sim/linebacker/internal/harness"
 )
@@ -60,4 +63,49 @@ func Exit(stderr io.Writer, tool string, err error) int {
 		return 2
 	}
 	return 1
+}
+
+// StartProfiles starts CPU profiling to cpuPath and arranges a heap profile
+// at stopPath time to memPath; either path may be empty to skip that
+// profile. The returned stop function finishes both and must be called
+// exactly once (typically deferred) — it reports the first error hit while
+// finalising, which callers should surface but not fail the run over.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var ferr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && ferr == nil {
+				ferr = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if ferr == nil {
+					ferr = fmt.Errorf("mem profile: %w", err)
+				}
+				return ferr
+			}
+			runtime.GC() // materialise final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil && ferr == nil {
+				ferr = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && ferr == nil {
+				ferr = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return ferr
+	}, nil
 }

@@ -8,8 +8,6 @@
 package dram
 
 import (
-	"container/heap"
-
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 )
@@ -45,13 +43,57 @@ type pending struct {
 	done int64
 }
 
+// less orders completions by done cycle. Deliberately the exact comparator
+// the previous container/heap version used — done-cycle ties resolve by
+// heap layout, and the sift algorithms below replicate container/heap's
+// step for step, so completion order (and therefore every downstream
+// metric) is bit-identical to the old implementation. What changed is cost:
+// container/heap boxed every entry into an interface on Push — one heap
+// allocation per scheduled request — where this version reuses the backing
+// array forever.
+func (p pending) less(o pending) bool { return p.done < o.done }
+
+// doneHeap is a hand-rolled binary min-heap of in-service requests.
 type doneHeap []pending
 
-func (h doneHeap) Len() int           { return len(h) }
-func (h doneHeap) Less(i, j int) bool { return h[i].done < h[j].done }
-func (h doneHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *doneHeap) Push(x any)        { *h = append(*h, x.(pending)) }
-func (h *doneHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h doneHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h *doneHeap) popRoot() pending {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = pending{}
+	q = q[:n]
+	*h = q
+	// Sift the relocated root down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q[right].less(q[left]) {
+			least = right
+		}
+		if !q[least].less(q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
+}
 
 // DRAM is the off-chip memory model.
 type DRAM struct {
@@ -142,11 +184,12 @@ func (d *DRAM) SetStalled(s bool) { d.stalled = s }
 // Stalled reports whether the model is frozen.
 func (d *DRAM) Stalled() bool { return d.stalled }
 
-// Tick advances one core cycle and returns the requests whose data transfer
-// completes at this cycle.
-func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
+// TickEach advances one core cycle and hands every request whose data
+// transfer completes at this cycle to fn, in completion order. This is the
+// engine-facing path: it allocates nothing.
+func (d *DRAM) TickEach(cycle int64, fn func(*memtypes.Request)) {
 	if d.stalled {
-		return nil
+		return
 	}
 	d.tokens += d.bytesPerCycle
 	if d.tokens > d.maxTokens {
@@ -159,11 +202,17 @@ func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
 	if len(d.inflight) > 0 {
 		d.Stats.BusyCycles++
 	}
-	var out []*memtypes.Request
 	for len(d.inflight) > 0 && d.inflight[0].done <= cycle {
-		p := heap.Pop(&d.inflight).(pending)
-		out = append(out, p.req)
+		fn(d.inflight.popRoot().req)
 	}
+}
+
+// Tick advances one core cycle and returns the requests whose data transfer
+// completes at this cycle. Convenience wrapper over TickEach for tests and
+// tools; the returned slice is freshly allocated.
+func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
+	var out []*memtypes.Request
+	d.TickEach(cycle, func(req *memtypes.Request) { out = append(out, req) })
 	return out
 }
 
@@ -243,7 +292,8 @@ func (d *DRAM) schedule(ch int, cycle int64) {
 	}
 	done := cycle + int64(lat+xfer)
 	b.readyAt = done
-	heap.Push(&d.inflight, pending{req: req, done: done})
+	d.inflight = append(d.inflight, pending{req: req, done: done})
+	d.inflight.up(len(d.inflight) - 1)
 
 	if write {
 		d.Stats.Writes++

@@ -53,9 +53,19 @@ type Runner struct {
 	mu         sync.Mutex
 	cache      map[string]*sim.Result
 	probeCache map[string]*ProbeResult
+	flights    map[string]*flight
 	sem        chan struct{}
 	journal    *Journal
 	execs      atomic.Int64
+}
+
+// flight is one in-progress execution of a memo key. Concurrent same-key
+// callers that arrive while the leader runs wait on done instead of
+// executing (and journaling) the identical simulation a second time.
+type flight struct {
+	done chan struct{} // closed by the leader after res/err are set
+	res  *sim.Result
+	err  error
 }
 
 // NewRunner builds a runner over the given configuration. windows sets the
@@ -70,6 +80,7 @@ func NewRunner(cfg config.Config, windows int) *Runner {
 		Windows:    windows,
 		cache:      map[string]*sim.Result{},
 		probeCache: map[string]*ProbeResult{},
+		flights:    map[string]*flight{},
 		sem:        make(chan struct{}, workers),
 	}
 }
@@ -153,31 +164,68 @@ func (r *Runner) MustRun(bench string, pol sim.Policy) *sim.Result {
 // successful results enter the memo cache and journal — a failed or
 // cancelled run leaves no partial entry behind. A non-nil error is always
 // a *RunError.
+//
+// Same-key calls are single-flight: concurrent callers that miss the memo
+// cache while an identical run is executing wait for that run instead of
+// duplicating it, so a key is simulated (and journaled) exactly once no
+// matter how many sweep goroutines race to it. Failures are never shared
+// forward: a waiter whose leader failed retries with its own context.
 func (r *Runner) RunCfg(ctx context.Context, cfg config.Config, cfgKey, bench string, pol sim.Policy) (*sim.Result, error) {
 	key := fmt.Sprintf("%s|%s|%s|%s", cfgKey, cfgFingerprint(&cfg), bench, pol.Name())
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
+	var f *flight
+	for {
+		r.mu.Lock()
+		if res, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		inFlight := false
+		if f, inFlight = r.flights[key]; !inFlight {
+			f = &flight{done: make(chan struct{})}
+			r.flights[key] = f
+			r.mu.Unlock()
+			break // this caller is the leader
+		}
 		r.mu.Unlock()
-		return res, nil
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return f.res, nil
+			}
+			// The leader failed, so nothing was memoised; loop and try
+			// again as (potential) leader under this caller's context.
+		case <-ctx.Done():
+			return nil, &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
+				Phase: PhaseQueue, Err: context.Cause(ctx)}
+		}
 	}
-	r.mu.Unlock()
 
+	var res *sim.Result
+	var err error
 	select {
 	case r.sem <- struct{}{}:
+		res, err = r.execute(ctx, cfg, cfgKey, bench, pol)
+		<-r.sem
 	case <-ctx.Done():
-		return nil, &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
+		err = &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
 			Phase: PhaseQueue, Err: context.Cause(ctx)}
 	}
-	res, err := r.execute(ctx, cfg, cfgKey, bench, pol)
-	<-r.sem
+
+	// Publish atomically: cache insert and flight retirement happen under
+	// the same critical section, so no racing caller can observe the gap
+	// (missing cache entry, no flight) and start a duplicate execution.
+	r.mu.Lock()
+	if err == nil {
+		r.cache[key] = res
+	}
+	delete(r.flights, key)
+	j := r.journal
+	r.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
 	if err != nil {
 		return nil, err
 	}
-
-	r.mu.Lock()
-	r.cache[key] = res
-	j := r.journal
-	r.mu.Unlock()
 	if j != nil {
 		j.Record(key, res)
 	}
@@ -269,8 +317,13 @@ func safeDump(g *sim.GPU) (dump string) {
 	return g.StateDump()
 }
 
-// swlSweepLimits returns the CTA limits Best-SWL tries.
+// swlSweepLimits returns the CTA limits Best-SWL tries. A degenerate
+// residency bound (< 1) yields no sweep at all: a limit of 0 can never
+// launch a CTA, so a sweep containing it would only die via watchdog.
 func swlSweepLimits(maxResident int) []int {
+	if maxResident < 1 {
+		return nil
+	}
 	candidates := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
 	var out []int
 	for _, c := range candidates {
@@ -293,8 +346,19 @@ func (r *Runner) BestSWL(ctx context.Context, bench string) (int, *sim.Result, e
 		return 0, nil, &RunError{Bench: bench, Policy: "Best-SWL", Phase: PhaseSetup,
 			Err: fmt.Errorf("%w %q", ErrUnknownBench, bench)}
 	}
-	maxRes := sim.MaxResidentCTAs(&r.Cfg.GPU, b.Kernel)
+	return r.bestSWLOver(ctx, bench, sim.MaxResidentCTAs(&r.Cfg.GPU, b.Kernel))
+}
+
+// bestSWLOver runs the Best-SWL sweep for an explicit residency bound. A
+// bound below 1 is rejected up front with ErrBadConfig: the sweep would
+// contain CTA limit 0, which can never launch a CTA and only dies via
+// watchdog.
+func (r *Runner) bestSWLOver(ctx context.Context, bench string, maxRes int) (int, *sim.Result, error) {
 	limits := swlSweepLimits(maxRes)
+	if len(limits) == 0 {
+		return 0, nil, &RunError{Bench: bench, Policy: "Best-SWL", Phase: PhaseSetup,
+			Err: fmt.Errorf("%w: max resident CTAs %d leaves no CTA limit to sweep", ErrBadConfig, maxRes)}
+	}
 
 	type out struct {
 		limit int

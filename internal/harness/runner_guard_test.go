@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSWLSweepLimitsDegenerate is the regression test for the unguarded
+// maxResident < 1 case: the sweep used to come back as []int{0} (or worse,
+// []int{-1}), and a CTA limit of 0 can never launch a CTA — the point only
+// died via watchdog. A degenerate bound must yield no sweep at all.
+func TestSWLSweepLimitsDegenerate(t *testing.T) {
+	for _, maxRes := range []int{0, -1, -32} {
+		if got := swlSweepLimits(maxRes); got != nil {
+			t.Fatalf("swlSweepLimits(%d) = %v, want nil", maxRes, got)
+		}
+	}
+	// Sane bounds still sweep up to and including the bound.
+	got := swlSweepLimits(4)
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("swlSweepLimits(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("swlSweepLimits(4) = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBestSWLDegenerateResidency proves the Best-SWL front door fails fast
+// with ErrBadConfig instead of launching an unwinnable sweep.
+func TestBestSWLDegenerateResidency(t *testing.T) {
+	r := NewRunner(BenchConfig(), 1)
+	_, _, err := r.bestSWLOver(context.Background(), "S2", 0)
+	if err == nil {
+		t.Fatal("bestSWLOver with maxRes=0 succeeded, want ErrBadConfig")
+	}
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig in chain", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Phase != PhaseSetup {
+		t.Fatalf("err = %#v, want *RunError in PhaseSetup", err)
+	}
+	if r.Executions() != 0 {
+		t.Fatalf("degenerate sweep executed %d simulations, want 0", r.Executions())
+	}
+}

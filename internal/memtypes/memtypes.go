@@ -78,6 +78,44 @@ type Response struct {
 	DoneCycle int64
 }
 
+// RequestPool is a free list recycling Request objects inside one
+// single-threaded engine instance. Requests churn at every memory level
+// (SM outbox → icnt → L2 → DRAM and back), and allocating each one fresh
+// made the allocator the hottest object in a sweep; the pool caps that at
+// the in-flight high-water mark.
+//
+// Determinism contract (enforced by DESIGN.md §8 and the lbvet nondeterm
+// analyzer's spirit): a Get returns a fully zeroed Request, so simulated
+// state can never depend on which recycled object comes back — pool order
+// is invisible to the simulation. The pool is intentionally unsynchronised:
+// one pool belongs to one GPU, and the engine is single-threaded by design
+// (parallelism lives in the harness, across runs).
+type RequestPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed Request, reusing a recycled one when available.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a Request the engine has finished with. The object is zeroed
+// immediately so a stale field (or the opaque Meta pointer) can neither
+// leak into the next use nor pin dead state for the GC.
+func (p *RequestPool) Put(r *Request) {
+	*r = Request{}
+	p.free = append(p.free, r)
+}
+
+// Free returns the number of pooled (idle) requests.
+func (p *RequestPool) Free() int { return len(p.free) }
+
 // HashPC folds a 32-bit PC into bits bits by XOR, as the paper's hashed-PC
 // (HPC) function does. bits must be in [1,16].
 func HashPC(pc uint32, bits int) uint32 {

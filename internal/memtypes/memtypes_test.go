@@ -62,3 +62,30 @@ func TestHashPCDistributes(t *testing.T) {
 		t.Fatalf("32 sequential PCs map to only %d LM rows", len(seen))
 	}
 }
+
+// TestRequestPoolRoundTrip proves the pool's two contracts: a recycled Get
+// returns a fully zeroed object (pool order must be invisible to the
+// simulation), and a steady-state Get/Put round trip allocates nothing.
+func TestRequestPoolRoundTrip(t *testing.T) {
+	var p RequestPool
+	r := p.Get()
+	r.Line, r.Kind, r.SM, r.WarpID, r.PC = 0x1000, Store, 3, 7, 42
+	r.IssueCycle, r.ExtraLatency, r.Meta = 99, 5, "stale"
+	p.Put(r)
+	if got := p.Get(); *got != (Request{}) {
+		t.Fatalf("recycled Get returned non-zero Request: %+v", *got)
+	} else {
+		p.Put(got)
+	}
+	if n := p.Free(); n != 1 {
+		t.Fatalf("Free() = %d, want 1", n)
+	}
+	perOp := testing.AllocsPerRun(4096, func() {
+		req := p.Get()
+		req.Line = 0x2000
+		p.Put(req)
+	})
+	if perOp > 0 {
+		t.Errorf("pool round trip allocates %.3f objects/op, want 0", perOp)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/dram"
 	"github.com/linebacker-sim/linebacker/internal/icnt"
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
+	"github.com/linebacker-sim/linebacker/internal/ring"
 	"github.com/linebacker-sim/linebacker/internal/workload"
 )
 
@@ -37,12 +38,20 @@ type GPU struct {
 	fromL2 *icnt.Link
 
 	l2        *cache.Cache
-	l2Queue   []*memtypes.Request
+	l2Queue   ring.Buffer[*memtypes.Request]
 	l2Waiters map[memtypes.LineAddr][]*memtypes.Request
 	l2Service int64
 	l2Ports   int
 
 	dram *dram.DRAM
+
+	// pool recycles the Request objects that churn through the memory
+	// system. One pool per GPU: the engine is single-threaded, and a
+	// request is recycled exactly where its life ends (store retirement at
+	// the L2, writeback completion at DRAM, response hand-off at the SM).
+	// Every Get returns a zeroed object, so pool order can never influence
+	// simulated state (DESIGN.md §8).
+	pool memtypes.RequestPool
 
 	nextCTA int
 	cycle   int64
@@ -117,7 +126,7 @@ func New(cfg config.Config, k *workload.Kernel, pol Policy) (*GPU, error) {
 	g.fromL2 = icnt.New(lat*3/10, cfg.GPU.NumSMs*2)
 
 	for i := 0; i < cfg.GPU.NumSMs; i++ {
-		sm := newSM(i, &g.cfg, k)
+		sm := newSM(i, &g.cfg, k, &g.pool)
 		smp := pol.Attach(sm)
 		sm.pol = smp
 		g.sms = append(g.sms, sm)
@@ -224,7 +233,7 @@ func (g *GPU) done() bool {
 		}
 	}
 	return g.toL2.Pending() == 0 && g.fromL2.Pending() == 0 &&
-		len(g.l2Queue) == 0 && g.dram.QueueLen() == 0 && g.dram.Inflight() == 0
+		g.l2Queue.Len() == 0 && g.dram.QueueLen() == 0 && g.dram.Inflight() == 0
 }
 
 // Step advances the whole GPU by one cycle.
@@ -237,27 +246,23 @@ func (g *GPU) Step() {
 	g.stage("sm", cyc)
 	for _, sm := range g.sms {
 		sm.tick(cyc)
-		for _, req := range sm.drainOutbox() {
-			g.toL2.Send(req, cyc)
+		for sm.outbox.Len() > 0 {
+			g.toL2.Send(sm.outbox.Pop(), cyc)
 		}
 	}
 
 	// Requests arriving at L2.
 	g.stage("l2", cyc)
-	g.l2Queue = append(g.l2Queue, g.toL2.Deliver(cyc)...)
+	g.toL2.DeliverEach(cyc, func(req *memtypes.Request) { g.l2Queue.Push(req) })
 	g.serviceL2(cyc)
 
 	// DRAM.
 	g.stage("dram", cyc)
-	for _, req := range g.dram.Tick(cyc) {
-		g.dramComplete(req, cyc)
-	}
+	g.dram.TickEach(cyc, func(req *memtypes.Request) { g.dramComplete(req, cyc) })
 
 	// Responses arriving at SMs.
 	g.stage("response", cyc)
-	for _, req := range g.fromL2.Deliver(cyc) {
-		g.sms[req.SM].handleResponse(req, cyc)
-	}
+	g.fromL2.DeliverEach(cyc, func(req *memtypes.Request) { g.sms[req.SM].handleResponse(req, cyc) })
 
 	if g.checker != nil {
 		if err := g.checker.CheckCycle(g, cyc); err != nil {
@@ -284,19 +289,16 @@ func (g *GPU) dispatch(cyc int64) {
 	}
 }
 
-// serviceL2 processes up to l2Ports requests from the L2 input queue.
+// serviceL2 processes up to l2Ports requests from the L2 input queue. The
+// queue is a ring buffer: the old slice version's `q = q[1:]` leaked the
+// backing array forward every cycle, re-allocating continuously whenever
+// the queue stayed busy.
 func (g *GPU) serviceL2(cyc int64) {
-	n := 0
-	for n < g.l2Ports && len(g.l2Queue) > 0 {
-		req := g.l2Queue[0]
-		if !g.l2Access(req, cyc) {
+	for n := 0; n < g.l2Ports && g.l2Queue.Len() > 0; n++ {
+		if !g.l2Access(g.l2Queue.Front(), cyc) {
 			break // L2 MSHRs exhausted: head-of-line retry next cycle
 		}
-		g.l2Queue = g.l2Queue[1:]
-		n++
-	}
-	if len(g.l2Queue) == 0 {
-		g.l2Queue = nil
+		g.l2Queue.Pop()
 	}
 }
 
@@ -309,16 +311,20 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 		g.dram.Enqueue(req)
 		return true
 	case memtypes.Store:
+		// Death point: the L2 is write-allocate, so a store retires here.
+		// Any dirty writeback it displaces is built before the incoming
+		// request is recycled (Put zeroes the object).
 		res, ev, evicted := g.l2.Store(req.Line)
 		if evicted && ev.Dirty {
-			g.dram.Enqueue(&memtypes.Request{Line: ev.Line, Kind: memtypes.Store, SM: req.SM, WarpID: -1})
+			g.dram.Enqueue(g.writeback(ev.Line, req.SM))
 		}
 		_ = res
+		g.pool.Put(req)
 		return true
 	case memtypes.Load:
 		res, ev, evicted := g.l2.Load(req.Line, 0, true)
 		if evicted && ev.Dirty {
-			g.dram.Enqueue(&memtypes.Request{Line: ev.Line, Kind: memtypes.Store, SM: req.SM, WarpID: -1})
+			g.dram.Enqueue(g.writeback(ev.Line, req.SM))
 		}
 		switch res {
 		case cache.Hit:
@@ -337,11 +343,19 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 	}
 }
 
+// writeback builds a pooled dirty-eviction store request.
+func (g *GPU) writeback(line memtypes.LineAddr, smID int) *memtypes.Request {
+	wb := g.pool.Get()
+	wb.Line, wb.Kind, wb.SM, wb.WarpID = line, memtypes.Store, smID, -1
+	return wb
+}
+
 // dramComplete routes a finished DRAM access.
 func (g *GPU) dramComplete(req *memtypes.Request, cyc int64) {
 	switch req.Kind {
 	case memtypes.Store:
-		// Writeback or write-through completion: nothing to deliver.
+		// Writeback completion: nothing to deliver. Death point — recycle.
+		g.pool.Put(req)
 	case memtypes.Load:
 		g.l2.Fill(req.Line)
 		g.fromL2.Send(req, cyc)

@@ -18,13 +18,13 @@ import (
 // response link. Each live request is visited exactly once.
 func (g *GPU) ForEachInflight(fn func(*memtypes.Request)) {
 	for _, sm := range g.sms {
-		for _, req := range sm.outbox {
-			fn(req)
+		for i := 0; i < sm.outbox.Len(); i++ {
+			fn(sm.outbox.At(i))
 		}
 	}
 	g.toL2.ForEach(fn)
-	for _, req := range g.l2Queue {
-		fn(req)
+	for i := 0; i < g.l2Queue.Len(); i++ {
+		fn(g.l2Queue.At(i))
 	}
 	// Sorted keys: the visit order of merged waiters must not depend on
 	// map order — fn may fold the requests into anything, including
@@ -43,14 +43,14 @@ func (g *GPU) ForEachInflight(fn func(*memtypes.Request)) {
 func (g *GPU) L2WaiterLines() int { return len(g.l2Waiters) }
 
 // L2QueueLen returns the occupancy of the L2 input queue.
-func (g *GPU) L2QueueLen() int { return len(g.l2Queue) }
+func (g *GPU) L2QueueLen() int { return g.l2Queue.Len() }
 
 // PendingLoadOps returns the load line-requests waiting in the SM's LSU
 // queue (issued by a warp, not yet presented to the L1).
 func (sm *SM) PendingLoadOps() int {
 	n := 0
-	for i := range sm.lsu {
-		if !sm.lsu[i].isStore {
+	for i := 0; i < sm.lsu.Len(); i++ {
+		if !sm.lsu.At(i).isStore {
 			n++
 		}
 	}
@@ -58,7 +58,7 @@ func (sm *SM) PendingLoadOps() int {
 }
 
 // PendingStoreOps returns the store line-requests waiting in the LSU queue.
-func (sm *SM) PendingStoreOps() int { return len(sm.lsu) - sm.PendingLoadOps() }
+func (sm *SM) PendingStoreOps() int { return sm.lsu.Len() - sm.PendingLoadOps() }
 
 // WaiterLines returns the number of distinct lines with warps waiting on an
 // outstanding L1 fill — by construction equal to the L1's live MSHR count.
@@ -100,7 +100,7 @@ func (sm *SM) SumMemPending() int {
 }
 
 // OutboxLen returns the requests queued for hand-off to the interconnect.
-func (sm *SM) OutboxLen() int { return len(sm.outbox) }
+func (sm *SM) OutboxLen() int { return sm.outbox.Len() }
 
 // StateDump renders a deterministic one-look diagnostic snapshot of the
 // machine's in-flight state: where every queue stands and what each SM has
@@ -113,11 +113,11 @@ func (g *GPU) StateDump() string {
 	fmt.Fprintf(&b, "cycle=%d ctas=%d/%d committed=%d\n",
 		g.cycle, g.nextCTA, g.kernel.GridCTAs, g.committed())
 	fmt.Fprintf(&b, "icnt: toL2=%d fromL2=%d | l2: queue=%d waiterLines=%d | dram: queue=%d inflight=%d stalled=%v\n",
-		g.toL2.Pending(), g.fromL2.Pending(), len(g.l2Queue), len(g.l2Waiters),
+		g.toL2.Pending(), g.fromL2.Pending(), g.l2Queue.Len(), len(g.l2Waiters),
 		g.dram.QueueLen(), g.dram.Inflight(), g.dram.Stalled())
 	for _, sm := range g.sms {
 		fmt.Fprintf(&b, "SM%d: retired=%d resident=%d outbox=%d lsu=%d waitLines=%d waitEntries=%d memPending=%d\n",
-			sm.id, sm.Stats.Retired, sm.ResidentCTAs(), len(sm.outbox), len(sm.lsu),
+			sm.id, sm.Stats.Retired, sm.ResidentCTAs(), sm.outbox.Len(), sm.lsu.Len(),
 			sm.WaiterLines(), sm.WaiterEntries(), sm.SumMemPending())
 	}
 	return b.String()

@@ -7,6 +7,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/regfile"
+	"github.com/linebacker-sim/linebacker/internal/ring"
 	"github.com/linebacker-sim/linebacker/internal/workload"
 )
 
@@ -79,10 +80,13 @@ type SM struct {
 	// GTO scheduler state: the last warp each scheduler issued from.
 	lastIssued []int
 
-	lsu      []lsuOp
+	lsu      ring.Buffer[lsuOp]
 	lsuWidth int
 	waiters  map[memtypes.LineAddr][]*Warp
-	outbox   []*memtypes.Request
+	outbox   ring.Buffer[*memtypes.Request]
+
+	// pool recycles Request objects; owned by the GPU, shared by its SMs.
+	pool *memtypes.RequestPool
 
 	pol SMPolicy
 
@@ -108,7 +112,7 @@ const loadIssueLatency = 2
 const fillWakeLatency = 4
 
 // newSM builds an SM for the kernel.
-func newSM(id int, cfg *config.Config, k *workload.Kernel) *SM {
+func newSM(id int, cfg *config.Config, k *workload.Kernel, pool *memtypes.RequestPool) *SM {
 	g := &cfg.GPU
 	sm := &SM{
 		id:          id,
@@ -120,6 +124,7 @@ func newSM(id int, cfg *config.Config, k *workload.Kernel) *SM {
 		lastIssued:  make([]int, g.NumSchedulers),
 		lsuWidth:    lsuWidthDefault,
 		waiters:     make(map[memtypes.LineAddr][]*Warp),
+		pool:        pool,
 	}
 	for i := range sm.lastIssued {
 		sm.lastIssued[i] = -1
@@ -211,8 +216,9 @@ func (sm *SM) SendRegTraffic(kind memtypes.Kind, rn int, cycle int64) *memtypes.
 	}
 	const backupRegion = uint64(1) << 60
 	line := memtypes.LineAddr(backupRegion + uint64(sm.id)<<20 + uint64(rn)*memtypes.LineSize)
-	req := &memtypes.Request{Line: line, Kind: kind, SM: sm.id, WarpID: -1, IssueCycle: cycle, Meta: rn}
-	sm.outbox = append(sm.outbox, req)
+	req := sm.pool.Get()
+	req.Line, req.Kind, req.SM, req.WarpID, req.IssueCycle, req.Meta = line, kind, sm.id, -1, cycle, rn
+	sm.outbox.Push(req)
 	return req
 }
 
@@ -285,7 +291,7 @@ func (sm *SM) Busy() bool {
 			return true
 		}
 	}
-	return len(sm.lsu) > 0 || len(sm.waiters) > 0
+	return sm.lsu.Len() > 0 || len(sm.waiters) > 0
 }
 
 // --- per-cycle pipeline ---
@@ -363,7 +369,7 @@ func (sm *SM) execute(w *Warp, cycle int64) {
 		w.readyAt = cycle + loadIssueLatency
 		w.memPending += l.Coalesced
 		for r := 0; r < l.Coalesced; r++ {
-			sm.lsu = append(sm.lsu, lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, ctx: sm.ctx(w)})
+			sm.lsu.Push(lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, ctx: sm.ctx(w)})
 		}
 	case workload.StoreOp:
 		l := &sm.kernel.Loads[ins.LoadIdx]
@@ -373,7 +379,7 @@ func (sm *SM) execute(w *Warp, cycle int64) {
 		}
 		w.readyAt = cycle + storeIssueLatency
 		for r := 0; r < l.Coalesced; r++ {
-			sm.lsu = append(sm.lsu, lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, isStore: true, ctx: sm.ctx(w)})
+			sm.lsu.Push(lsuOp{warp: w, loadIdx: ins.LoadIdx, req: r, isStore: true, ctx: sm.ctx(w)})
 		}
 	}
 	sm.advance(w, cycle)
@@ -414,15 +420,11 @@ func (sm *SM) retireWarp(w *Warp, cycle int64) {
 
 // runLSU retires up to lsuWidth line requests.
 func (sm *SM) runLSU(cycle int64) {
-	for n := 0; n < sm.lsuWidth && len(sm.lsu) > 0; n++ {
-		op := sm.lsu[0]
-		if !sm.processOp(op, cycle) {
+	for n := 0; n < sm.lsuWidth && sm.lsu.Len() > 0; n++ {
+		if !sm.processOp(sm.lsu.Front(), cycle) {
 			return // head-of-line stall (MSHR full); retry next cycle
 		}
-		sm.lsu = sm.lsu[1:]
-	}
-	if len(sm.lsu) == 0 {
-		sm.lsu = nil // let the backing array be reclaimed
+		sm.lsu.Pop()
 	}
 }
 
@@ -444,9 +446,10 @@ func (sm *SM) processOp(op lsuOp, cycle int64) bool {
 		}
 		sm.pol.OnStore(line, cycle)
 		sm.l1.Store(line)
-		sm.outbox = append(sm.outbox, &memtypes.Request{
-			Line: line, Kind: memtypes.Store, SM: sm.id, WarpID: warpIndex(sm, w), PC: l.PC, IssueCycle: cycle,
-		})
+		req := sm.pool.Get()
+		req.Line, req.Kind, req.SM, req.WarpID, req.PC, req.IssueCycle =
+			line, memtypes.Store, sm.id, warpIndex(sm, w), l.PC, cycle
+		sm.outbox.Push(req)
 		return true
 	}
 
@@ -498,10 +501,10 @@ func (sm *SM) processOp(op lsuOp, cycle int64) bool {
 			out = OutBypass
 		}
 		sm.waiters[line] = append(sm.waiters[line], w)
-		sm.outbox = append(sm.outbox, &memtypes.Request{
-			Line: line, Kind: memtypes.Load, SM: sm.id, WarpID: warpIndex(sm, w), PC: l.PC,
-			IssueCycle: cycle, ExtraLatency: vlat,
-		})
+		req := sm.pool.Get()
+		req.Line, req.Kind, req.SM, req.WarpID, req.PC, req.IssueCycle, req.ExtraLatency =
+			line, memtypes.Load, sm.id, warpIndex(sm, w), l.PC, cycle, vlat
+		sm.outbox.Push(req)
 		sm.Stats.LoadReqs[out]++
 		sm.pol.OnLoadOutcome(warpIndex(sm, w), l.PC, line, out, cycle)
 	case cache.Hit:
@@ -535,6 +538,9 @@ func (sm *SM) finishLoad(w *Warp, cycle, latency int64) {
 }
 
 // handleResponse completes a request that returned from the memory system.
+// This is a request death point: the object goes back to the pool once every
+// waiter is woken (loads) or the policy has observed the completion
+// (register traffic) — no component retains the pointer past those calls.
 func (sm *SM) handleResponse(req *memtypes.Request, cycle int64) {
 	switch req.Kind {
 	case memtypes.Load:
@@ -544,16 +550,11 @@ func (sm *SM) handleResponse(req *memtypes.Request, cycle int64) {
 		for _, w := range ws {
 			sm.finishLoad(w, cycle, fillWakeLatency+int64(req.ExtraLatency))
 		}
+		sm.pool.Put(req)
 	case memtypes.RegBackup, memtypes.RegRestore:
 		sm.pol.OnRegResponse(req, cycle)
+		sm.pool.Put(req)
 	}
-}
-
-// drainOutbox hands queued downstream requests to the caller.
-func (sm *SM) drainOutbox() []*memtypes.Request {
-	out := sm.outbox
-	sm.outbox = nil
-	return out
 }
 
 func warpIndex(sm *SM, w *Warp) int {
