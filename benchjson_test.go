@@ -44,6 +44,12 @@ func BenchmarkMicroIcntLink(b *testing.B)   { benchkit.IcntLink(b) }
 // set on a fresh runner).
 func BenchmarkMacroFig12Bench(b *testing.B) { benchkit.MacroFig12Bench(b) }
 
+// Scaling tier: the same fig12 run at fixed intra-run worker counts
+// (DESIGN.md §9). Results are bit-identical across the curve; only
+// wall-clock may move.
+func BenchmarkScalingFig12Workers2(b *testing.B) { benchkit.MacroFig12BenchWorkers(2)(b) }
+func BenchmarkScalingFig12Workers4(b *testing.B) { benchkit.MacroFig12BenchWorkers(4)(b) }
+
 // benchMetrics is one benchmark's record in the JSON artifact.
 type benchMetrics struct {
 	NsPerOp         float64 `json:"ns_per_op"`
@@ -80,6 +86,10 @@ var trajectoryTiers = []struct {
 	{"micro/gpu_step", benchkit.GPUStep, true},
 	{"micro/icnt_link", benchkit.IcntLink, false},
 	{"macro/fig12_bench", benchkit.MacroFig12Bench, false},
+	{"scaling/fig12_workers1", benchkit.MacroFig12BenchWorkers(1), false},
+	{"scaling/fig12_workers2", benchkit.MacroFig12BenchWorkers(2), false},
+	{"scaling/fig12_workers4", benchkit.MacroFig12BenchWorkers(4), false},
+	{"scaling/fig12_workers8", benchkit.MacroFig12BenchWorkers(8), false},
 }
 
 // TestBenchTrajectory emits the benchmark trajectory artifact. Skipped

@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "wall-clock limit per point (0 = none)")
 		journal    = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
+		workers    = fs.Int("workers", 1, "SM-stepping threads per simulation (0 = GOMAXPROCS); results are identical at any count")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -82,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if cfg.Chaos, err = chaos.ParseSpec(*chaosSpec); err != nil {
 		return cliutil.Usagef("%v", err)
 	}
+	cfg.GPU.Workers = *workers
 
 	r := harness.NewRunner(cfg, *windows)
 	r.Timeout = *timeout

@@ -47,6 +47,18 @@ const OrderedDirective = "//lbvet:ordered"
 //	//lbvet:panic unreachable by construction: only the four Kinds exist
 const PanicDirective = "//lbvet:panic"
 
+// ExecutorDirective is the escape-hatch comment that sanctions a goroutine
+// spawn inside a simulation-state package (see the nondeterm analyzer). It
+// asserts the goroutine is part of a deterministic cycle-barrier executor:
+// it works on a disjoint, statically assigned state partition and every
+// cross-partition effect is buffered and merged in a fixed order at a
+// barrier, so results are bit-identical at any worker count (DESIGN.md §9).
+// Any other goroutine in those packages stays banned. Always give the
+// reason after the directive, e.g.
+//
+//	//lbvet:executor cycle-barrier SM worker: disjoint chunk, ordered merge
+const ExecutorDirective = "//lbvet:executor"
+
 // Package is one loaded, type-checked package.
 type Package struct {
 	// Path is the import path ("github.com/.../internal/sim").
@@ -64,6 +76,8 @@ type Package struct {
 	ordered map[string]map[int]bool
 	// panicOK maps file name -> set of lines carrying PanicDirective.
 	panicOK map[string]map[int]bool
+	// executorOK maps file name -> set of lines carrying ExecutorDirective.
+	executorOK map[string]map[int]bool
 }
 
 // Diagnostic is one finding.
@@ -129,6 +143,14 @@ func (p *Pass) Ordered(pkg *Package, n ast.Node) bool {
 func (p *Pass) PanicAllowed(pkg *Package, n ast.Node) bool {
 	pos := p.Fset.Position(n.Pos())
 	lines := pkg.panicOK[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// ExecutorSanctioned reports whether the node carries an ExecutorDirective
+// comment on its own line or the line immediately above.
+func (p *Pass) ExecutorSanctioned(pkg *Package, n ast.Node) bool {
+	pos := p.Fset.Position(n.Pos())
+	lines := pkg.executorOK[pos.Filename]
 	return lines[pos.Line] || lines[pos.Line-1]
 }
 

@@ -252,8 +252,9 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 
 	pkg := &Package{Path: path, Dir: dir,
-		ordered: map[string]map[int]bool{},
-		panicOK: map[string]map[int]bool{},
+		ordered:    map[string]map[int]bool{},
+		panicOK:    map[string]map[int]bool{},
+		executorOK: map[string]map[int]bool{},
 	}
 	for _, src := range srcs {
 		f, err := parser.ParseFile(l.Fset, src, nil, parser.ParseComments)
@@ -263,6 +264,7 @@ func (l *Loader) load(path string) (*Package, error) {
 		pkg.Files = append(pkg.Files, f)
 		pkg.ordered[src] = directiveLines(l.Fset, f, OrderedDirective)
 		pkg.panicOK[src] = directiveLines(l.Fset, f, PanicDirective)
+		pkg.executorOK[src] = directiveLines(l.Fset, f, ExecutorDirective)
 	}
 
 	pkg.Info = &types.Info{

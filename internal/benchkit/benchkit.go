@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"github.com/linebacker-sim/linebacker/internal/cache"
+	"github.com/linebacker-sim/linebacker/internal/config"
 	"github.com/linebacker-sim/linebacker/internal/core"
 	"github.com/linebacker-sim/linebacker/internal/harness"
 	"github.com/linebacker-sim/linebacker/internal/icnt"
@@ -149,9 +150,26 @@ func deliverAll(l *icnt.Link, cyc int64) {
 // nothing is memoised. This is the macro-tier trajectory number: wall-clock
 // per full experiment regeneration.
 func MacroFig12Bench(b *testing.B) {
+	macroFig12(b, harness.BenchConfig())
+}
+
+// MacroFig12BenchWorkers returns the fig12 macro body pinned to an intra-run
+// worker count (DESIGN.md §9) — the scaling-curve tier of the trajectory
+// artifact. The fast config has 4 SMs, so counts above 4 clamp; the curve is
+// flat by construction on a single-core host (GOMAXPROCS caps real
+// concurrency), which the artifact records alongside the numbers.
+func MacroFig12BenchWorkers(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := harness.BenchConfig()
+		cfg.GPU.Workers = workers
+		macroFig12(b, cfg)
+	}
+}
+
+func macroFig12(b *testing.B, cfg config.Config) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := harness.NewRunner(harness.BenchConfig(), 16)
+		r := harness.NewRunner(cfg, 16)
 		ctx := context.Background()
 		if _, err := r.Run(ctx, macroBench, sim.Baseline{}); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,49 @@
+package check_test
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/check"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// TestGoldenMetricsWorkerMatrix is the bit-identity acceptance matrix of
+// the parallel stepping engine (DESIGN.md §9): the full golden capture —
+// every Table 2 benchmark under {baseline, lb} — must equal the committed
+// snapshot at every worker count, not just the serial engine the snapshot
+// was recorded with. Any scheduling leak (unordered interconnect merge,
+// cross-SM state touched during the SM phase) shows up here as an
+// exact-integer diff.
+func TestGoldenMetricsWorkerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker matrix runs all 20 benchmarks per worker count; skipped in -short")
+	}
+	want, err := check.LoadSnapshot(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestGoldenMetrics with -update to create the snapshot)", err)
+	}
+
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		cfg := harness.BenchConfig()
+		cfg.GPU.Workers = workers
+		got, err := check.Capture(cfg,
+			"worker-matrix capture",
+			goldenWindows, workload.Names(), check.GoldenSchemes())
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if diffs := want.Compare(got); len(diffs) != 0 {
+			t.Errorf("Workers=%d diverged from the serial golden snapshot:\n%s",
+				workers, strings.Join(diffs, "\n"))
+		}
+	}
+}

@@ -49,6 +49,13 @@ type Runner struct {
 	// ErrWatchdog RunError and a machine-state snapshot — a livelocked
 	// point fails fast instead of wedging the sweep.
 	WatchdogTick time.Duration
+	// SweepWorkers bounds the sweep-level fan-out: ForEachBench and the
+	// Best-SWL sweep run at most this many points concurrently, instead of
+	// one goroutine per point. NewRunner divides the machine between the
+	// two parallelism levels — SweepWorkers × cfg.GPU.EffectiveWorkers ≈
+	// GOMAXPROCS — so intra-run workers (DESIGN.md §9) and sweep workers
+	// never oversubscribe cores. 0 falls back to serial sweeps.
+	SweepWorkers int
 
 	mu         sync.Mutex
 	cache      map[string]*sim.Result
@@ -70,19 +77,68 @@ type flight struct {
 
 // NewRunner builds a runner over the given configuration. windows sets the
 // run length (8 windows ≈ monitoring + several throttle adjustments).
+//
+// The core budget is split between the two parallelism levels: each run
+// uses cfg.GPU.EffectiveWorkers intra-run SM workers, so the sweep level
+// gets GOMAXPROCS / that many concurrent simulations (at least one). With
+// the default Workers=1 this reduces to the classic one-run-per-core
+// sweep.
 func NewRunner(cfg config.Config, windows int) *Runner {
-	workers := runtime.GOMAXPROCS(0)
+	maxProcs := runtime.GOMAXPROCS(0)
+	if maxProcs < 1 {
+		maxProcs = 1
+	}
+	sweep := maxProcs / cfg.GPU.EffectiveWorkers(maxProcs)
+	if sweep < 1 {
+		sweep = 1
+	}
+	return &Runner{
+		Cfg:          cfg,
+		Windows:      windows,
+		SweepWorkers: sweep,
+		cache:        map[string]*sim.Result{},
+		probeCache:   map[string]*ProbeResult{},
+		flights:      map[string]*flight{},
+		sem:          make(chan struct{}, sweep),
+	}
+}
+
+// forEachIndex is the shared bounded sweep pool: it applies fn to every
+// index in [0, n), running at most SweepWorkers items concurrently. The
+// calling goroutine participates as a worker and at most SweepWorkers-1
+// helpers are spawned per call, so nested sweeps (ForEachBench points that
+// call BestSWL) compose without deadlock — every level always owns at
+// least its caller. Items are claimed from an atomic counter; results must
+// be written by index, which keeps sweep output independent of claim
+// order.
+func (r *Runner) forEachIndex(n int, fn func(i int)) {
+	workers := r.SweepWorkers
 	if workers < 1 {
 		workers = 1
 	}
-	return &Runner{
-		Cfg:        cfg,
-		Windows:    windows,
-		cache:      map[string]*sim.Result{},
-		probeCache: map[string]*ProbeResult{},
-		flights:    map[string]*flight{},
-		sem:        make(chan struct{}, workers),
+	if workers > n {
+		workers = n
 	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 }
 
 // AttachJournal preloads the memo cache from the journal's records and
@@ -134,8 +190,15 @@ func (r *Runner) cycles(cfg *config.Config) int64 {
 // configs collide only when they are semantically identical. Chaos fields
 // are part of the fingerprint by construction: a faulted run can never
 // alias a clean cache or journal entry.
+//
+// GPU.Workers is the one deliberate exclusion: it only chooses how many
+// threads step the SMs, and results are bit-identical at every worker
+// count (test-enforced, DESIGN.md §9) — so runs at different worker counts
+// share memo and journal entries instead of re-simulating.
 func cfgFingerprint(cfg *config.Config) string {
-	return fmt.Sprintf("%v", *cfg)
+	canon := *cfg
+	canon.GPU.Workers = 0
+	return fmt.Sprintf("%v", canon)
 }
 
 // Run simulates one benchmark under one policy using the runner's base
@@ -365,17 +428,13 @@ func (r *Runner) bestSWLOver(ctx context.Context, bench string, maxRes int) (int
 		res   *sim.Result
 		err   error
 	}
+	// The sweep shares the bounded pool with ForEachBench instead of
+	// fanning out one goroutine per limit.
 	results := make([]out, len(limits))
-	var wg sync.WaitGroup
-	for i, lim := range limits {
-		wg.Add(1)
-		go func(i, lim int) {
-			defer wg.Done()
-			res, err := r.Run(ctx, bench, schemes.SWL{Limit: lim})
-			results[i] = out{lim, res, err}
-		}(i, lim)
-	}
-	wg.Wait()
+	r.forEachIndex(len(limits), func(i int) {
+		res, err := r.Run(ctx, bench, schemes.SWL{Limit: limits[i]})
+		results[i] = out{limits[i], res, err}
+	})
 
 	var errs []error
 	for _, o := range results {
@@ -443,10 +502,11 @@ func (s *Sweep) OKVals() []float64 {
 	return out
 }
 
-// ForEachBench runs fn concurrently for every benchmark name and collects
-// per-benchmark values in Table 2 order. A failed point is recorded in the
-// sweep's Errs slice and skipped; it never aborts the other benchmarks, so
-// one bad point cannot take down a fleet-sized campaign.
+// ForEachBench runs fn for every benchmark name — at most SweepWorkers
+// concurrently — and collects per-benchmark values in Table 2 order. A
+// failed point is recorded in the sweep's Errs slice and skipped; it never
+// aborts the other benchmarks, so one bad point cannot take down a
+// fleet-sized campaign.
 func (r *Runner) ForEachBench(ctx context.Context, fn func(ctx context.Context, bench string) (float64, error)) *Sweep {
 	names := workload.Names()
 	s := &Sweep{
@@ -454,27 +514,23 @@ func (r *Runner) ForEachBench(ctx context.Context, fn func(ctx context.Context, 
 		Vals:    make([]float64, len(names)),
 		Errs:    make([]error, len(names)),
 	}
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			defer func() {
-				// fn is caller code: isolate its panics exactly like the
-				// engine's own, so a sweep survives a bad closure too.
-				if p := recover(); p != nil {
-					if re, ok := p.(*RunError); ok {
-						s.Errs[i] = re
-						return
-					}
-					s.Errs[i] = &RunError{Bench: name, Phase: PhaseRun,
-						Err: fmt.Errorf("%w: %v", ErrPanic, p), Stack: string(debug.Stack())}
+	r.forEachIndex(len(names), func(i int) {
+		name := names[i]
+		defer func() {
+			// fn is caller code: isolate its panics exactly like the
+			// engine's own, so a sweep survives a bad closure too — and the
+			// pool worker moves on to the next benchmark.
+			if p := recover(); p != nil {
+				if re, ok := p.(*RunError); ok {
+					s.Errs[i] = re
+					return
 				}
-			}()
-			s.Vals[i], s.Errs[i] = fn(ctx, name)
-		}(i, name)
-	}
-	wg.Wait()
+				s.Errs[i] = &RunError{Bench: name, Phase: PhaseRun,
+					Err: fmt.Errorf("%w: %v", ErrPanic, p), Stack: string(debug.Stack())}
+			}
+		}()
+		s.Vals[i], s.Errs[i] = fn(ctx, name)
+	})
 	return s
 }
 

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// This file is the deterministic parallel stepping engine (DESIGN.md §9):
+// a persistent pool of workers that steps disjoint, contiguous chunks of
+// SMs concurrently within one cycle and joins at a barrier before the
+// serial memory phase runs. It is the ONLY sanctioned concurrency inside
+// the cycle-level engine — the lbvet nondeterm analyzer bans every other
+// goroutine in simulation packages, and the //lbvet:executor directives
+// below are the single escape hatch.
+//
+// Why this is safe to run in parallel (and bit-identical at any worker
+// count):
+//
+//   - During the SM phase, an SM touches only its own state: warps, L1,
+//     register file, per-SM policy, per-SM request pool and per-SM outbox.
+//     The kernel is read-only and address generation is pure.
+//   - All cross-SM effects are buffered: line requests go to the per-SM
+//     outbox and are merged into the interconnect in fixed SM-index order
+//     at the barrier, so icnt sequence numbers — and therefore every
+//     downstream tie-break — are identical to the serial engine's.
+//   - The L2, DRAM and response phases stay serial; they are the only
+//     cross-SM coupling (Accel-Sim's observation) and cost a small
+//     fraction of the cycle.
+
+// SMTickFaultInjector is the optional fault-injection extension for the
+// parallel SM phase: unlike FaultInjector.Stage, which runs once per stage
+// on the coordinating goroutine, SMTick runs inside each SM's tick — on a
+// worker goroutine when Workers > 1. Implementations must only act on one
+// deterministically chosen SM and must not share mutable state across SMs
+// (internal/chaos picks a seed-derived victim).
+type SMTickFaultInjector interface {
+	SMTick(g *GPU, smID int, cycle int64)
+}
+
+// workerPanic carries a panic recovered on an SM worker across the cycle
+// barrier so it can resurface on the coordinating goroutine, where the
+// harness's recovery barrier turns it into a structured *RunError.
+type workerPanic struct {
+	sm    int // SM whose tick panicked
+	val   any
+	stack string
+}
+
+// String renders the original panic value and the worker's stack; the
+// harness embeds it in the RunError message.
+func (p *workerPanic) String() string {
+	return fmt.Sprintf("SM %d worker: %v\n[SM worker stack]\n%s", p.sm, p.val, p.stack)
+}
+
+// smExecutor is the persistent worker pool. Worker w owns the contiguous
+// SM range [bounds[w], bounds[w+1]); chunks are fixed for the lifetime of
+// the run, so work assignment never depends on scheduling.
+type smExecutor struct {
+	g      *GPU
+	bounds []int
+	start  []chan int64 // per-worker cycle kick; closed by stop
+	done   chan struct{}
+	panics []*workerPanic // slot w written only by worker w, read at barrier
+	wg     sync.WaitGroup
+}
+
+// resolveWorkers maps the configured worker count onto this machine: 0
+// expands to GOMAXPROCS and the result is clamped to [1, numSMs]. The
+// answer can differ between hosts — which is exactly why results must not
+// (and, test-enforced, do not) depend on it.
+func resolveWorkers(configured, numSMs int) int {
+	w := configured
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > numSMs {
+		w = numSMs
+	}
+	return w
+}
+
+// newSMExecutor starts workers persistent goroutines. workers must be >= 2
+// (a single worker is the serial path and never builds an executor).
+func newSMExecutor(g *GPU, workers int) *smExecutor {
+	n := len(g.sms)
+	e := &smExecutor{
+		g:      g,
+		bounds: make([]int, workers+1),
+		start:  make([]chan int64, workers),
+		done:   make(chan struct{}, workers),
+		panics: make([]*workerPanic, workers),
+	}
+	// Contiguous chunks differing in size by at most one SM, low indices
+	// first — the deterministic analogue of a static OpenMP schedule.
+	for w := 0; w <= workers; w++ {
+		e.bounds[w] = w * n / workers
+	}
+	for w := 0; w < workers; w++ {
+		e.start[w] = make(chan int64, 1)
+		e.wg.Add(1)
+		//lbvet:executor cycle-barrier SM worker: disjoint chunk, merged in SM-index order at the barrier (DESIGN.md §9)
+		go e.worker(w)
+	}
+	return e
+}
+
+// worker is one pool member: it waits for a cycle kick, ticks its chunk,
+// and reports completion. It exits when its start channel is closed.
+func (e *smExecutor) worker(w int) {
+	defer e.wg.Done()
+	lo, hi := e.bounds[w], e.bounds[w+1]
+	for cyc := range e.start[w] {
+		e.panics[w] = e.tickRange(cyc, lo, hi)
+		e.done <- struct{}{}
+	}
+}
+
+// tickRange advances SMs [lo, hi) one cycle, converting a panic into a
+// workerPanic so one SM's failure cannot crash the process from a
+// non-coordinating goroutine.
+func (e *smExecutor) tickRange(cyc int64, lo, hi int) (wp *workerPanic) {
+	smID := lo
+	defer func() {
+		if r := recover(); r != nil {
+			wp = &workerPanic{sm: smID, val: r, stack: string(debug.Stack())}
+		}
+	}()
+	for smID = lo; smID < hi; smID++ {
+		sm := e.g.sms[smID]
+		if e.g.smFaults != nil {
+			e.g.smFaults.SMTick(e.g, smID, cyc)
+		}
+		sm.tick(cyc)
+	}
+	return nil
+}
+
+// cycle runs one parallel SM phase: kick every worker, wait for all of
+// them (the barrier), then re-raise the lowest-indexed worker panic, if
+// any — a deterministic choice even when several chunks fail in the same
+// cycle. Steady state allocates nothing.
+func (e *smExecutor) cycle(cyc int64) {
+	for _, ch := range e.start {
+		ch <- cyc
+	}
+	for range e.start {
+		<-e.done
+	}
+	for _, wp := range e.panics {
+		if wp != nil {
+			//lbvet:panic re-raising a recovered SM-worker panic on the coordinator; the harness run barrier structures it
+			panic(wp)
+		}
+	}
+}
+
+// stop shuts the pool down and waits for every worker to exit, so no
+// goroutine outlives the run that spawned it.
+func (e *smExecutor) stop() {
+	for _, ch := range e.start {
+		close(ch)
+	}
+	e.wg.Wait()
+}

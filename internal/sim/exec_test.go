@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// resultFingerprint renders every headline metric of a run for exact
+// comparison across worker counts.
+func resultFingerprint(r *Result) string {
+	return fmt.Sprintf("cycles=%d instr=%d loads=%v stores=%d l1=%+v rf=%+v l2=%+v dram=%+v ctas=%d/%d extra=%v",
+		r.Cycles, r.Instructions, r.Loads, r.Stores, r.L1, r.RF, r.L2, r.DRAM,
+		r.CTALaunches, r.CTACompleted, r.Extra)
+}
+
+// workerCountsUnderTest returns the deduplicated worker counts of the
+// satellite matrix: 1, 2, 4 and GOMAXPROCS.
+func workerCountsUnderTest() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestParallelStepBitIdentity proves the core contract of the parallel
+// stepping engine: the same run, at every worker count, produces exactly
+// the same metrics as the serial engine — including with the invariant
+// checker attached (it observes the merged state at the cycle barrier).
+func TestParallelStepBitIdentity(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := testConfig()
+		cfg.GPU.Workers = workers
+		g, err := New(cfg, tinyKernel(400, 48), Baseline{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Workers(); workers > 1 && got < 2 && runtime.GOMAXPROCS(0) > 1 {
+			t.Fatalf("Workers=%d resolved to %d", workers, got)
+		}
+		if _, err := g.RunCtx(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return g.Collect()
+	}
+	want := resultFingerprint(run(1))
+	for _, w := range workerCountsUnderTest()[1:] {
+		if got := resultFingerprint(run(w)); got != want {
+			t.Errorf("Workers=%d diverged from serial run:\n serial: %s\n got:    %s", w, want, got)
+		}
+	}
+}
+
+// TestParallelStepBitIdentityLinebacker repeats the identity check under
+// the full Linebacker-shaped policy surface: a policy with per-SM victim
+// state, register traffic and CTA throttling exercises every SM-phase hook
+// that runs on a worker goroutine.
+func TestParallelStepBitIdentityLinebacker(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := testConfig()
+		cfg.GPU.Workers = workers
+		g, err := New(cfg, tinyKernel(600, 96), &regTrafficScheme{done: map[int]bool{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.RunCtx(context.Background(), 40000); err != nil {
+			t.Fatal(err)
+		}
+		return g.Collect()
+	}
+	want := resultFingerprint(run(1))
+	for _, w := range workerCountsUnderTest()[1:] {
+		if got := resultFingerprint(run(w)); got != want {
+			t.Errorf("Workers=%d diverged from serial run:\n serial: %s\n got:    %s", w, want, got)
+		}
+	}
+}
+
+// TestParallelStateDumpIdentity pins the full machine state, not just the
+// collected metrics: after the same number of cycles the serial and
+// parallel engines must hold byte-identical state dumps.
+func TestParallelStateDumpIdentity(t *testing.T) {
+	dump := func(workers int) string {
+		cfg := testConfig()
+		cfg.GPU.Workers = workers
+		g, err := New(cfg, tinyKernel(400, 48), Baseline{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.RunCtx(context.Background(), 3000); err != nil {
+			t.Fatal(err)
+		}
+		return g.StateDump()
+	}
+	want := dump(1)
+	for _, w := range workerCountsUnderTest()[1:] {
+		if got := dump(w); got != want {
+			t.Errorf("Workers=%d state dump diverged from serial engine", w)
+		}
+	}
+}
+
+// panicAtPolicy panics inside OnCycle of one SM at one cycle — the
+// worker-goroutine analogue of an engine bug.
+type panicAtPolicy struct {
+	sm    int
+	cycle int64
+}
+
+func (p *panicAtPolicy) Name() string { return "panic-at" }
+func (p *panicAtPolicy) Attach(sm *SM) SMPolicy {
+	return &panicAtSMPolicy{BasePolicy{}, p, sm.ID()}
+}
+
+type panicAtSMPolicy struct {
+	BasePolicy
+	p  *panicAtPolicy
+	id int
+}
+
+func (s *panicAtSMPolicy) OnCycle(cycle int64) {
+	if s.id == s.p.sm && cycle == s.p.cycle {
+		//lbvet:panic test-injected fault: proves worker panics cross the barrier
+		panic(fmt.Sprintf("test: injected SM %d panic at cycle %d", s.id, cycle))
+	}
+}
+
+// TestWorkerPanicPropagates proves a panic on an SM worker goroutine
+// resurfaces on the stepping goroutine as a *workerPanic carrying the SM,
+// the original value and the worker stack — instead of crashing the
+// process from a goroutine no recovery barrier covers.
+func TestWorkerPanicPropagates(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPU.Workers = 2
+	g, err := New(cfg, tinyKernel(400, 48), &panicAtPolicy{sm: 1, cycle: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("injected SM worker panic did not propagate")
+		}
+		wp, ok := p.(*workerPanic)
+		if !ok {
+			t.Fatalf("propagated panic is %T, want *workerPanic: %v", p, p)
+		}
+		if wp.sm != 1 {
+			t.Errorf("workerPanic.sm = %d, want 1", wp.sm)
+		}
+		if !strings.Contains(wp.String(), "injected SM 1 panic at cycle 100") {
+			t.Errorf("workerPanic lost the original value: %s", wp.String())
+		}
+		if !strings.Contains(wp.String(), "[SM worker stack]") {
+			t.Errorf("workerPanic carries no worker stack: %s", wp.String())
+		}
+		if g.Cycle() != 100 {
+			t.Errorf("machine stopped at cycle %d, want 100", g.Cycle())
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		g.Step()
+	}
+}
+
+// TestResolveWorkers pins the resolution rules: 1 is serial, 0 expands to
+// GOMAXPROCS, and the count clamps to the SM count.
+func TestResolveWorkers(t *testing.T) {
+	mp := runtime.GOMAXPROCS(0)
+	cases := []struct{ configured, numSMs, want int }{
+		{1, 16, 1},
+		{4, 16, 4},
+		{4, 2, 2},
+		{100, 16, 16},
+		{0, 1, 1},
+		{0, 1 << 30, mp},
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.configured, c.numSMs); got != c.want {
+			t.Errorf("resolveWorkers(%d, %d) = %d, want %d", c.configured, c.numSMs, got, c.want)
+		}
+	}
+}
+
+// TestCloseIdempotent proves Close (and a RunCtx that already closed) can
+// be called repeatedly and that a closed machine can run again — the
+// timeline path calls RunCtx once per window.
+func TestCloseIdempotent(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPU.Workers = 2
+	g, err := New(cfg, tinyKernel(400, 48), Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seg := int64(1); seg <= 3; seg++ {
+		if _, err := g.RunCtx(context.Background(), seg*500); err != nil {
+			t.Fatal(err)
+		}
+		g.Close()
+		g.Close()
+	}
+	if g.Cycle() != 1500 {
+		t.Fatalf("segmented parallel run stopped at %d, want 1500", g.Cycle())
+	}
+}

@@ -45,19 +45,19 @@ type GPU struct {
 
 	dram *dram.DRAM
 
-	// pool recycles the Request objects that churn through the memory
-	// system. One pool per GPU: the engine is single-threaded, and a
-	// request is recycled exactly where its life ends (store retirement at
-	// the L2, writeback completion at DRAM, response hand-off at the SM).
-	// Every Get returns a zeroed object, so pool order can never influence
-	// simulated state (DESIGN.md §8).
-	pool memtypes.RequestPool
-
 	nextCTA int
 	cycle   int64
 
-	checker CycleChecker
-	faults  FaultInjector
+	// workers is the resolved intra-run parallelism (config.GPU.Workers
+	// against this machine); exec is the persistent SM worker pool, built
+	// lazily on the first Step when workers > 1 and torn down by Close.
+	// With workers == 1 the engine is exactly the serial machine.
+	workers int
+	exec    *smExecutor
+
+	checker  CycleChecker
+	faults   FaultInjector
+	smFaults SMTickFaultInjector
 
 	// progress publishes the cumulative committed-instruction count at
 	// RunCtx checkpoints. It is the only GPU state a harness watchdog may
@@ -85,7 +85,13 @@ type FaultInjector interface {
 }
 
 // SetFaultInjector installs (or, with nil, removes) the fault injector.
-func (g *GPU) SetFaultInjector(f FaultInjector) { g.faults = f }
+// An injector that additionally implements SMTickFaultInjector is also
+// consulted inside each SM's tick — on a worker goroutine when the run is
+// parallel (see exec.go for the contract that keeps that race-free).
+func (g *GPU) SetFaultInjector(f FaultInjector) {
+	g.faults = f
+	g.smFaults, _ = f.(SMTickFaultInjector)
+}
 
 // stage notifies the fault injector that the named Step phase is starting.
 func (g *GPU) stage(name string, cyc int64) {
@@ -117,6 +123,7 @@ func New(cfg config.Config, k *workload.Kernel, pol Policy) (*GPU, error) {
 		l2Ports:   l2PortsFor(cfg.GPU.NumSMs),
 		l2Waiters: make(map[memtypes.LineAddr][]*memtypes.Request),
 		dram:      dram.New(&cfg.GPU),
+		workers:   resolveWorkers(cfg.GPU.Workers, cfg.GPU.NumSMs),
 	}
 	// Split the minimum L2 round trip across request path, service, and
 	// response path.
@@ -126,7 +133,7 @@ func New(cfg config.Config, k *workload.Kernel, pol Policy) (*GPU, error) {
 	g.fromL2 = icnt.New(lat*3/10, cfg.GPU.NumSMs*2)
 
 	for i := 0; i < cfg.GPU.NumSMs; i++ {
-		sm := newSM(i, &g.cfg, k, &g.pool)
+		sm := newSM(i, &g.cfg, k)
 		smp := pol.Attach(sm)
 		sm.pol = smp
 		g.sms = append(g.sms, sm)
@@ -179,6 +186,11 @@ const checkpointCycles = 8192
 // and the machine is left in a consistent between-cycles state — Collect
 // and StateDump remain safe, but the run must not be resumed.
 func (g *GPU) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
+	// A parallel run's worker pool lives exactly as long as the run loop:
+	// Step builds it lazily, and no goroutine survives past this return
+	// (Close is idempotent, so callers that Step by hand and Close
+	// themselves compose with RunCtx).
+	defer g.Close()
 	if maxCycles == 0 {
 		maxCycles = g.cfg.MaxCycles
 	}
@@ -215,6 +227,21 @@ func (g *GPU) committed() int64 {
 	return n
 }
 
+// Close tears down the parallel stepping workers, if any are running.
+// Idempotent and cheap when the run is serial. Callers that drive Step
+// directly with Workers > 1 (benchmarks, tools) should Close when done;
+// RunCtx does it automatically.
+func (g *GPU) Close() {
+	if g.exec != nil {
+		g.exec.stop()
+		g.exec = nil
+	}
+}
+
+// Workers returns the resolved intra-run worker count (>= 1) this machine
+// will use for the SM phase.
+func (g *GPU) Workers() int { return g.workers }
+
 // Progress returns the committed-instruction count published at the last
 // RunCtx checkpoint. Safe to call from other goroutines while the
 // simulation runs; a watchdog that sees the same value across a wall-clock
@@ -236,7 +263,13 @@ func (g *GPU) done() bool {
 		g.l2Queue.Len() == 0 && g.dram.QueueLen() == 0 && g.dram.Inflight() == 0
 }
 
-// Step advances the whole GPU by one cycle.
+// Step advances the whole GPU by one cycle: a serial dispatch, the SM
+// phase (parallel across disjoint SM chunks when Workers > 1, plain loop
+// otherwise), an ordered merge of the per-SM outboxes into the
+// interconnect, and the serial memory phases. The SM phase only ever
+// touches per-SM state, and the merge happens in fixed SM-index order, so
+// the machine's trajectory is bit-identical for every worker count
+// (DESIGN.md §9).
 func (g *GPU) Step() {
 	cyc := g.cycle
 
@@ -244,8 +277,24 @@ func (g *GPU) Step() {
 	g.dispatch(cyc)
 
 	g.stage("sm", cyc)
+	if g.workers > 1 && g.exec == nil {
+		g.exec = newSMExecutor(g, g.workers)
+	}
+	if g.exec != nil {
+		g.exec.cycle(cyc)
+	} else {
+		for id, sm := range g.sms {
+			if g.smFaults != nil {
+				g.smFaults.SMTick(g, id, cyc)
+			}
+			sm.tick(cyc)
+		}
+	}
+	// Barrier merge: drain the per-SM outboxes into the interconnect in
+	// SM-index order. The serial engine produced exactly this injection
+	// order (ticks never observe the interconnect), so icnt sequence
+	// numbers — and every tie-break derived from them — are preserved.
 	for _, sm := range g.sms {
-		sm.tick(cyc)
 		for sm.outbox.Len() > 0 {
 			g.toL2.Send(sm.outbox.Pop(), cyc)
 		}
@@ -313,13 +362,15 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 	case memtypes.Store:
 		// Death point: the L2 is write-allocate, so a store retires here.
 		// Any dirty writeback it displaces is built before the incoming
-		// request is recycled (Put zeroes the object).
+		// request is recycled (Put zeroes the object). Recycling goes back
+		// to the issuing SM's pool — the L2 phase is serial, and returning
+		// objects to their origin keeps every per-SM free list balanced.
 		res, ev, evicted := g.l2.Store(req.Line)
 		if evicted && ev.Dirty {
 			g.dram.Enqueue(g.writeback(ev.Line, req.SM))
 		}
 		_ = res
-		g.pool.Put(req)
+		g.sms[req.SM].pool.Put(req)
 		return true
 	case memtypes.Load:
 		res, ev, evicted := g.l2.Load(req.Line, 0, true)
@@ -343,9 +394,10 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 	}
 }
 
-// writeback builds a pooled dirty-eviction store request.
+// writeback builds a pooled dirty-eviction store request, drawn from the
+// triggering SM's pool (only ever called from the serial memory phases).
 func (g *GPU) writeback(line memtypes.LineAddr, smID int) *memtypes.Request {
-	wb := g.pool.Get()
+	wb := g.sms[smID].pool.Get()
 	wb.Line, wb.Kind, wb.SM, wb.WarpID = line, memtypes.Store, smID, -1
 	return wb
 }
@@ -354,8 +406,9 @@ func (g *GPU) writeback(line memtypes.LineAddr, smID int) *memtypes.Request {
 func (g *GPU) dramComplete(req *memtypes.Request, cyc int64) {
 	switch req.Kind {
 	case memtypes.Store:
-		// Writeback completion: nothing to deliver. Death point — recycle.
-		g.pool.Put(req)
+		// Writeback completion: nothing to deliver. Death point — recycle
+		// to the owning SM's pool (the DRAM phase is serial).
+		g.sms[req.SM].pool.Put(req)
 	case memtypes.Load:
 		g.l2.Fill(req.Line)
 		g.fromL2.Send(req, cyc)

@@ -85,8 +85,13 @@ type SM struct {
 	waiters  map[memtypes.LineAddr][]*Warp
 	outbox   ring.Buffer[*memtypes.Request]
 
-	// pool recycles Request objects; owned by the GPU, shared by its SMs.
-	pool *memtypes.RequestPool
+	// pool recycles this SM's Request objects. Per-SM ownership is what
+	// keeps the free list race-free under parallel stepping: during the SM
+	// phase only this SM's goroutine touches it, and the serial memory
+	// phases return every dying request to the pool of the SM that issued
+	// it (req.SM). Get still returns a zeroed object, so pool order stays
+	// invisible to simulated state (DESIGN.md §8, §9).
+	pool memtypes.RequestPool
 
 	pol SMPolicy
 
@@ -112,7 +117,7 @@ const loadIssueLatency = 2
 const fillWakeLatency = 4
 
 // newSM builds an SM for the kernel.
-func newSM(id int, cfg *config.Config, k *workload.Kernel, pool *memtypes.RequestPool) *SM {
+func newSM(id int, cfg *config.Config, k *workload.Kernel) *SM {
 	g := &cfg.GPU
 	sm := &SM{
 		id:          id,
@@ -124,7 +129,6 @@ func newSM(id int, cfg *config.Config, k *workload.Kernel, pool *memtypes.Reques
 		lastIssued:  make([]int, g.NumSchedulers),
 		lsuWidth:    lsuWidthDefault,
 		waiters:     make(map[memtypes.LineAddr][]*Warp),
-		pool:        pool,
 	}
 	for i := range sm.lastIssued {
 		sm.lastIssued[i] = -1
