@@ -26,6 +26,9 @@ import (
 	"testing"
 
 	"github.com/linebacker-sim/linebacker/internal/benchkit"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
 )
 
 var (
@@ -43,6 +46,14 @@ func BenchmarkMicroIcntLink(b *testing.B)   { benchkit.IcntLink(b) }
 // Macro tier: one full Figure 12 bench run (S2 through the figure's policy
 // set on a fresh runner).
 func BenchmarkMacroFig12Bench(b *testing.B) { benchkit.MacroFig12Bench(b) }
+
+// Run-mode tier: the same macro under strict per-cycle ticking, and on the
+// full Table 1 paper machine in both modes (DESIGN.md §10). The paper pair
+// carries the headline strict/skip ratio — the 4-SM fast config is nearly
+// issue-saturated and skips little by construction.
+func BenchmarkMacroFig12Strict(b *testing.B)      { benchkit.MacroFig12BenchStrict(b) }
+func BenchmarkMacroFig12Paper(b *testing.B)       { benchkit.MacroFig12PaperBench(false)(b) }
+func BenchmarkMacroFig12PaperStrict(b *testing.B) { benchkit.MacroFig12PaperBench(true)(b) }
 
 // Scaling tier: the same fig12 run at fixed intra-run worker counts
 // (DESIGN.md §9). Results are bit-identical across the curve; only
@@ -65,13 +76,18 @@ type benchSection struct {
 	Benches map[string]benchMetrics `json:"benches"`
 }
 
-// benchFile is the BENCH_PR4.json schema.
+// benchFile is the BENCH_PR4.json schema. SkipRatios (added with the
+// cycle-skipping engine) records, per Table 2 benchmark, the fraction of
+// SM-cycles a skipping run serviced through the closed-form sleep path on
+// the paper machine — the structural explanation for the runmode/ tier's
+// wall-clock gap.
 type benchFile struct {
-	Schema     string        `json:"schema"`
-	Go         string        `json:"go"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Baseline   *benchSection `json:"baseline,omitempty"`
-	Current    benchSection  `json:"current"`
+	Schema     string             `json:"schema"`
+	Go         string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Baseline   *benchSection      `json:"baseline,omitempty"`
+	Current    benchSection       `json:"current"`
+	SkipRatios map[string]float64 `json:"skip_ratios,omitempty"`
 }
 
 // trajectoryTiers maps artifact bench names to their bodies. GPUStep's op is
@@ -86,6 +102,9 @@ var trajectoryTiers = []struct {
 	{"micro/gpu_step", benchkit.GPUStep, true},
 	{"micro/icnt_link", benchkit.IcntLink, false},
 	{"macro/fig12_bench", benchkit.MacroFig12Bench, false},
+	{"runmode/fig12_strict", benchkit.MacroFig12BenchStrict, false},
+	{"runmode/fig12_paper_skipping", benchkit.MacroFig12PaperBench(false), false},
+	{"runmode/fig12_paper_strict", benchkit.MacroFig12PaperBench(true), false},
 	{"scaling/fig12_workers1", benchkit.MacroFig12BenchWorkers(1), false},
 	{"scaling/fig12_workers2", benchkit.MacroFig12BenchWorkers(2), false},
 	{"scaling/fig12_workers4", benchkit.MacroFig12BenchWorkers(4), false},
@@ -129,6 +148,15 @@ func TestBenchTrajectory(t *testing.T) {
 		out.Current.Benches[tier.name] = m
 		t.Logf("%-22s %12.1f ns/op %8d allocs/op %10d B/op (n=%d)",
 			tier.name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Iterations)
+	}
+	out.SkipRatios = map[string]float64{}
+	for _, bench := range workload.Names() {
+		ratio, err := benchkit.SkipRatio(harness.PaperConfig(), bench, sim.Baseline{}, 4)
+		if err != nil {
+			t.Fatalf("skip ratio %s: %v", bench, err)
+		}
+		out.SkipRatios[bench] = ratio
+		t.Logf("skip ratio %-4s %5.1f%%", bench, 100*ratio)
 	}
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {

@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		windows = fs.Int("windows", 16, "run length in monitoring windows")
 		timeout = fs.Duration("timeout", 0, "wall-clock limit per simulation (0 = none)")
 		workers = fs.Int("workers", 1, "SM-stepping threads per simulation (0 = GOMAXPROCS); results are identical at any count")
+		strict  = fs.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping; results are identical in both modes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliutil.WrapParse(err)
@@ -59,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg = harness.PaperConfig()
 	}
 	cfg.GPU.Workers = *workers
+	cfg.Strict = *strict
 	r := harness.NewRunner(cfg, *windows)
 	r.Timeout = *timeout
 

@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 or stall-dram:2000 (see internal/chaos)")
 		workers    = fs.Int("workers", 1, "SM-stepping threads (0 = GOMAXPROCS); results are identical at any count")
+		strict     = fs.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping; results are identical in both modes")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -131,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cliutil.Usagef("%v", err)
 	}
 	cfg.GPU.Workers = *workers
+	cfg.Strict = *strict
 	res, err := runKernel(cfg, kernel, pol, *windows, *timeout, *timeline, *recordFile, stdout, stderr)
 	if err != nil {
 		return err

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		journal    = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
 		workers    = fs.Int("workers", 1, "SM-stepping threads per simulation (0 = GOMAXPROCS); results are identical at any count")
+		strict     = fs.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping; results are identical in both modes")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -84,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return cliutil.Usagef("%v", err)
 	}
 	cfg.GPU.Workers = *workers
+	cfg.Strict = *strict
 
 	r := harness.NewRunner(cfg, *windows)
 	r.Timeout = *timeout

@@ -13,6 +13,9 @@
 //   - statsflow:   counters that are incremented but can never reach
 //     ExtraStats/Result
 //   - floatsum:    order-sensitive float accumulation over map iteration
+//   - nextevent:   per-cycle state mutators that opted out of the
+//     cycle-skipping event protocol (e.g. an OnCycle override inheriting
+//     BasePolicy's quiescent NextEvent)
 //
 // The suite is built directly on the stdlib go/ast + go/types toolchain so
 // the module stays dependency-free. cmd/lbvet is the command-line driver;
@@ -163,6 +166,7 @@ func Analyzers() []*Analyzer {
 		StatsFlow,
 		FloatSum,
 		NoPanic,
+		NextEvent,
 	}
 }
 

@@ -123,6 +123,7 @@ func TestFloatSumFixture(t *testing.T)  { runFixture(t, "floatsum", FloatSum) }
 func TestFingerprintBad(t *testing.T)   { runFixture(t, "fingerprintbad", Fingerprint) }
 func TestFingerprintGood(t *testing.T)  { runFixture(t, "fingerprintgood", Fingerprint) }
 func TestNoPanicFixture(t *testing.T)   { runFixture(t, "nopanic", NoPanic) }
+func TestNextEventFixture(t *testing.T) { runFixture(t, "nextevent", NextEvent) }
 
 // TestByName covers the analyzer-subset resolver.
 func TestByName(t *testing.T) {

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NextEvent is the static guard of the cycle-skipping contract (DESIGN.md
+// §10): every component that mutates simulated state on a per-cycle basis
+// must advertise its future events, or the event-driven run loop will skip
+// over state changes it was never told about.
+//
+// Two patterns are enforced in the simulation-state packages:
+//
+//   - A type that declares an OnCycle method does per-cycle work, so it
+//     must declare its own NextEvent AND SkipCycles. Declaring — not merely
+//     satisfying the interface: the dangerous case is a scheme embedding
+//     BasePolicy, overriding OnCycle with real window logic, and silently
+//     inheriting the base's permanently-quiescent NextEvent. The promoted
+//     methods make it compile; the first skipping run jumps its window
+//     boundaries. That inheritance bug is invisible to the type checker
+//     and exactly what this rule rejects.
+//   - A type that declares TickEach or DeliverEach is a ticked engine
+//     queue, so it must declare NextEvent (its contents decide when the
+//     engine may next sleep).
+var NextEvent = &Analyzer{
+	Name: "nextevent",
+	Doc:  "per-cycle state mutators that do not participate in the NextEvent protocol",
+	Run:  runNextEvent,
+}
+
+func runNextEvent(pass *Pass) {
+	if !inSimState(pass.Pkg) {
+		return
+	}
+
+	// Collect the methods every package-local type declares itself —
+	// embedding-promoted methods deliberately do not count.
+	methods := map[string]map[string]token.Pos{} // receiver type -> method -> pos
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := receiverTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			if methods[recv] == nil {
+				methods[recv] = map[string]token.Pos{}
+			}
+			methods[recv][fd.Name.Name] = fd.Name.Pos()
+		}
+	}
+
+	for recv, ms := range methods {
+		if pos, ok := ms["OnCycle"]; ok {
+			_, hasNext := ms["NextEvent"]
+			_, hasSkip := ms["SkipCycles"]
+			switch {
+			case !hasNext && !hasSkip:
+				pass.Reportf(pos,
+					"%s declares OnCycle but neither NextEvent nor SkipCycles: its per-cycle work is invisible to the cycle-skipping engine",
+					recv)
+			case !hasNext:
+				pass.Reportf(pos,
+					"%s declares OnCycle but no NextEvent: the engine cannot know when its per-cycle work next changes state",
+					recv)
+			case !hasSkip:
+				pass.Reportf(pos,
+					"%s declares OnCycle but no SkipCycles: any per-cycle accrual it maintains is lost across skipped spans",
+					recv)
+			}
+		}
+		for _, tick := range []string{"TickEach", "DeliverEach"} {
+			pos, ok := ms[tick]
+			if !ok {
+				continue
+			}
+			if _, hasNext := ms["NextEvent"]; !hasNext {
+				pass.Reportf(pos,
+					"%s declares %s but no NextEvent: a ticked queue must advertise when its contents next move",
+					recv, tick)
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver expression to the named type,
+// through pointers and generic instantiations.
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nextevent
+
+go 1.22

@@ -19,6 +19,7 @@ package benchkit
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/linebacker-sim/linebacker/internal/cache"
@@ -164,6 +165,60 @@ func MacroFig12BenchWorkers(workers int) func(*testing.B) {
 		cfg.GPU.Workers = workers
 		macroFig12(b, cfg)
 	}
+}
+
+// MacroFig12BenchStrict is the fig12 macro with cycle skipping disabled:
+// the strict per-cycle engine on the 4-SM fast config. Paired with
+// MacroFig12Bench (which runs the default skipping mode) it is the
+// run-mode arm of the trajectory artifact. Note the 4-SM fast config is
+// nearly issue-saturated, so the strict/skip gap here is small by
+// construction; the paper-config pair below carries the headline ratio.
+func MacroFig12BenchStrict(b *testing.B) {
+	cfg := harness.BenchConfig()
+	cfg.Strict = true
+	macroFig12(b, cfg)
+}
+
+// MacroFig12PaperBench returns the fig12 macro body on the full Table 1
+// machine (16 SMs, paper DRAM bandwidth) in the given run mode. This is
+// the machine Figure 12 actually describes, and it is memory-starved
+// enough that most SM-cycles are provably idle — the configuration where
+// event-driven skipping pays (DESIGN.md §10).
+func MacroFig12PaperBench(strict bool) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := harness.PaperConfig()
+		cfg.Strict = strict
+		macroFig12(b, cfg)
+	}
+}
+
+// SkipRatio runs one benchmark under one policy in skipping mode and
+// returns the fraction of SM-cycles the engine serviced through the
+// closed-form sleep/skip path instead of a full tick — the per-bench skip
+// ratio reported in the trajectory artifact. Per-SM sleeping and global
+// fast-forwards both count (sim.SleptSMCycles); on the paper machine the
+// DRAM is rarely globally idle, so per-SM sleeping carries nearly all of
+// it. The ratio is diagnostic only: results are bit-identical to strict
+// mode regardless of its value.
+func SkipRatio(cfg config.Config, bench string, pol sim.Policy, windows int) (float64, error) {
+	bm, ok := workload.ByName(bench)
+	if !ok {
+		return 0, fmt.Errorf("benchkit: unknown benchmark %q", bench)
+	}
+	cfg.Strict = false
+	g, err := sim.New(cfg, bm.Kernel, pol)
+	if err != nil {
+		return 0, err
+	}
+	cycles := int64(windows) * int64(cfg.LB.WindowCycles)
+	end, err := g.RunCtx(context.Background(), cycles)
+	if err != nil {
+		return 0, err
+	}
+	if end == 0 {
+		return 0, nil
+	}
+	return float64(g.SleptSMCycles()) / float64(end*int64(cfg.GPU.NumSMs)), nil
 }
 
 func macroFig12(b *testing.B, cfg config.Config) {

@@ -1,0 +1,62 @@
+package benchkit
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/core"
+	"github.com/linebacker-sim/linebacker/internal/harness"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// TestSkipBeatsStrictMacroSmoke is the wall-clock acceptance gate of the
+// cycle-skipping engine, sized for CI: on the memory-starved Table 1
+// machine most SM-cycles are provably idle, so the event-driven loop must
+// regenerate a Figure 12 smoke slice measurably faster than strict
+// ticking. The local development measurement is ~1.3x on the full macro;
+// the assertion here is deliberately conservative (skipping must not be
+// slower than strict) so shared-runner noise cannot flake the job, while
+// still catching the real regression mode — a pinned event (a component
+// returning `now` forever) silently degrading every run to strict speed,
+// which shows up as a ratio near or below 1.0 AND a zero skip ratio.
+func TestSkipBeatsStrictMacroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped in -short")
+	}
+	run := func(strict bool) time.Duration {
+		cfg := harness.PaperConfig()
+		cfg.Strict = strict
+		r := harness.NewRunner(cfg, 4)
+		start := time.Now()
+		if _, err := r.Run(context.Background(), macroBench, sim.Baseline{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(context.Background(), macroBench, core.New()); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Interleave a warmup of each mode so neither side pays one-time costs.
+	run(true)
+	run(false)
+	strict := run(true)
+	skip := run(false)
+	ratio := float64(strict) / float64(skip)
+	t.Logf("paper-config macro smoke: strict=%v skipping=%v speedup=%.2fx", strict, skip, ratio)
+
+	// The structural half of the gate: the smoke slice must actually skip
+	// a large share of its cycles — wall-clock could be masked by noise,
+	// a zero skip ratio cannot.
+	ratioSkip, err := SkipRatio(harness.PaperConfig(), macroBench, sim.Baseline{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline %s skip ratio: %.1f%%", macroBench, 100*ratioSkip)
+	if ratioSkip < 0.10 {
+		t.Errorf("skip ratio %.1f%% below 10%%: the event engine is not finding the machine's idle cycles", 100*ratioSkip)
+	}
+	if ratio < 1.0 {
+		t.Errorf("skipping (%v) slower than strict (%v): event probing is costing more than it saves", skip, strict)
+	}
+}

@@ -85,6 +85,41 @@ func (in *Injector) Stage(g *sim.GPU, stage string, cycle int64) {
 	}
 }
 
+// NextEvent implements sim.NextEventer so the event-driven engine can skip
+// cycles without jumping over an exact (stage, cycle) fault point: every
+// armed, not-yet-fired fault advertises its trigger cycle, so that cycle is
+// always ticked and the fault fires exactly where a strict run fires it.
+// Once every fault has fired the injector is quiescent. Without this method
+// the engine would have to (and, for third-party injectors, does) fall back
+// to strict ticking.
+//
+// Reading the fired flags here is race-free even for the "sm-worker" fault,
+// whose flag is written on a worker goroutine: the engine calls NextEvent
+// between Steps, after the cycle barrier has ordered all worker writes
+// before coordinator reads.
+func (in *Injector) NextEvent(now int64) (int64, bool) {
+	c := &in.c
+	best, any := int64(0), false
+	merge := func(cyc int64) {
+		if cyc < now {
+			cyc = now
+		}
+		if !any || cyc < best {
+			best, any = cyc, true
+		}
+	}
+	if c.PanicCycle > 0 && !in.panicked {
+		merge(c.PanicCycle)
+	}
+	if c.StallDRAMCycle > 0 && !in.stalled {
+		merge(c.StallDRAMCycle)
+	}
+	if c.CorruptStatsCycle > 0 && !in.corrupted {
+		merge(c.CorruptStatsCycle)
+	}
+	return best, any
+}
+
 // SMTick implements sim.SMTickFaultInjector: the "sm-worker" panic stage
 // fires inside the victim SM's tick, which runs on a worker goroutine when
 // GPU.Workers > 1 — proving a worker panic crosses the cycle barrier and

@@ -1,0 +1,107 @@
+package chaos_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/chaos"
+	"github.com/linebacker-sim/linebacker/internal/config"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+)
+
+// runSkipRecovering runs the chaos kernel under the given config and
+// returns the recovered panic message ("" if none), the cycle the machine
+// stopped at, and how many cycles the run skipped.
+func runSkipRecovering(t *testing.T, cfg config.Config, maxCycles int64) (msg string, cycle, skipped int64) {
+	t.Helper()
+	g, err := sim.New(cfg, chaosKernel(), sim.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Attach(g)
+	defer func() {
+		if p := recover(); p != nil {
+			msg, cycle, skipped = fmt.Sprint(p), g.Cycle(), g.SkippedCycles()
+		}
+	}()
+	cycle = g.Run(maxCycles)
+	return "", cycle, g.SkippedCycles()
+}
+
+// TestChaosPanicExactCycleUnderSkipping proves the injector's NextEvent
+// participation is load-bearing: with DRAM frozen at cycle 500 the machine
+// livelocks into a fully skippable wedge, yet the armed panic at cycle
+// 4000 must still fire at exactly cycle 4000 — the skip has to land on the
+// advertised fault cycle, never jump it. A skipped count of zero would
+// mean the scenario degenerated into strict ticking and proved nothing.
+func TestChaosPanicExactCycleUnderSkipping(t *testing.T) {
+	cfg := chaosConfig(config.Chaos{
+		Enabled: true, Seed: 3,
+		StallDRAMCycle: 500,
+		PanicStage:     "dram", PanicCycle: 4000,
+	})
+	cfg.Strict = false
+	msg, cycle, skipped := runSkipRecovering(t, cfg, 1_000_000)
+	if msg == "" {
+		t.Fatal("armed panic fault never fired under skipping")
+	}
+	if cycle != 4000 {
+		t.Fatalf("panic fired at cycle %d, want exactly 4000 (skip jumped the fault point)", cycle)
+	}
+	if skipped == 0 {
+		t.Fatal("run never skipped a cycle; the exact-cycle property was tested under strict ticking")
+	}
+	if !strings.Contains(msg, "dram") || !strings.Contains(msg, "4000") {
+		t.Errorf("panic message lacks stage/cycle identification: %q", msg)
+	}
+}
+
+// strictOnlyInjector is a FaultInjector that does NOT implement
+// sim.NextEventer: the engine cannot know which cycles it must not jump
+// over, so RunCtx has to fall back to strict ticking for the whole run.
+type strictOnlyInjector struct{ stages int64 }
+
+func (f *strictOnlyInjector) Stage(g *sim.GPU, name string, cycle int64) { f.stages++ }
+
+// TestNonNextEventerInjectorForcesStrict pins the fallback: an opaque
+// injector disables skipping entirely (SkippedCycles == 0) and the run
+// still produces exactly the results of an uninstrumented strict run.
+func TestNonNextEventerInjectorForcesStrict(t *testing.T) {
+	cfg := chaosConfig(config.Chaos{})
+	cfg.Strict = false
+	// Stretch DRAM timing so warps stall long enough for the event engine
+	// to find skippable spans — a fully busy machine would make the
+	// "plain run skips" half of the comparison vacuous.
+	cfg.GPU.DRAM.RCD, cfg.GPU.DRAM.RP, cfg.GPU.DRAM.CL = 120, 120, 120
+	run := func(inject bool) (*sim.Result, string, int64) {
+		g, err := sim.New(cfg, chaosKernel(), sim.Baseline{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inj *strictOnlyInjector
+		if inject {
+			inj = &strictOnlyInjector{}
+			g.SetFaultInjector(inj)
+		}
+		g.Run(20_000)
+		if inject && inj.stages == 0 {
+			t.Fatal("injector installed but never observed a stage")
+		}
+		return g.Collect(), g.StateDump(), g.SkippedCycles()
+	}
+	ri, di, skippedI := run(true)
+	rp, dp, skippedP := run(false)
+	if skippedI != 0 {
+		t.Fatalf("run with a non-NextEventer injector skipped %d cycles, want 0 (forced strict)", skippedI)
+	}
+	if skippedP == 0 {
+		t.Fatal("plain skipping run never skipped; the comparison is vacuous")
+	}
+	if di != dp {
+		t.Fatalf("forced-strict instrumented run diverged from skipping run:\n--- injected ---\n%s\n--- plain ---\n%s", di, dp)
+	}
+	if ri.Cycles != rp.Cycles || ri.Instructions != rp.Instructions {
+		t.Fatalf("result divergence: injected %+v vs plain %+v", ri, rp)
+	}
+}

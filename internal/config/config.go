@@ -208,6 +208,13 @@ type Config struct {
 	// is enabled (0 = every cycle). Larger intervals trade detection
 	// latency for speed; window-boundary checking uses LB.WindowCycles.
 	CheckEvery int
+	// Strict disables event-driven cycle skipping: the engine ticks every
+	// cycle, exactly as the pre-skip engine did. The default (false) lets
+	// RunCtx fast-forward over provably idle spans. Results are
+	// bit-identical in both modes — like GPU.Workers, the field is
+	// deliberately excluded from the harness memo fingerprint, and a test
+	// matrix proves both properties (DESIGN.md §10).
+	Strict bool
 	// Chaos configures deterministic fault injection (internal/chaos).
 	Chaos Chaos
 }

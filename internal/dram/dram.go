@@ -43,6 +43,16 @@ type pending struct {
 	done int64
 }
 
+// qent is one transaction-queue entry. The bank/row decomposition of the
+// line address is immutable, so it is computed once at Enqueue instead of
+// by every FR-FCFS window scan (the div/mod chain in bankOf was the
+// scheduler's dominant cost under congestion).
+type qent struct {
+	req  *memtypes.Request
+	bank int // global bank index: ch*perChan + bk
+	row  int64
+}
+
 // less orders completions by done cycle. Deliberately the exact comparator
 // the previous container/heap version used — done-cycle ties resolve by
 // heap layout, and the sift algorithms below replicate container/heap's
@@ -102,7 +112,15 @@ type DRAM struct {
 	banks    []bank // channels * banksPerChan
 	perChan  int
 
-	queues [][]*memtypes.Request // one FIFO per channel
+	// queues holds one FIFO per channel as a head-indexed slice: heads[ch]
+	// is the index of the oldest waiting entry in queues[ch]. Dequeues from
+	// the FR-FCFS window shift at most window-1 entries and advance the
+	// head; consumed prefixes are compacted away once they dominate the
+	// backing array, keeping both enqueue and dequeue amortised O(1). (The
+	// previous splice-on-dequeue copied the whole tail — quadratic once a
+	// congested run built up a six-figure queue.)
+	queues [][]qent
+	heads  []int
 
 	bytesPerCycle float64
 	tokens        float64
@@ -124,7 +142,8 @@ func New(g *config.GPU) *DRAM {
 		channels:      g.DRAMChannels,
 		perChan:       g.DRAMBanksPerChan,
 		banks:         make([]bank, g.DRAMChannels*g.DRAMBanksPerChan),
-		queues:        make([][]*memtypes.Request, g.DRAMChannels),
+		queues:        make([][]qent, g.DRAMChannels),
+		heads:         make([]int, g.DRAMChannels),
 		bytesPerCycle: g.BytesPerCycle(),
 	}
 	d.maxTokens = d.bytesPerCycle * 4 // small burst window
@@ -147,15 +166,36 @@ func (d *DRAM) bankOf(l memtypes.LineAddr) (ch, bk int, row int64) {
 // Enqueue accepts a line request. The caller keeps ownership of req; the
 // same pointer is surfaced by Tick when service completes.
 func (d *DRAM) Enqueue(req *memtypes.Request) {
-	ch := d.channelOf(req.Line)
-	d.queues[ch] = append(d.queues[ch], req)
+	ch, bk, row := d.bankOf(req.Line)
+	d.queues[ch] = append(d.queues[ch], qent{req: req, bank: ch*d.perChan + bk, row: row})
+}
+
+// waiting returns channel ch's live FIFO (oldest first).
+func (d *DRAM) waiting(ch int) []qent { return d.queues[ch][d.heads[ch]:] }
+
+// compact drops channel ch's consumed prefix once it dominates the backing
+// array, bounding memory and keeping the head index small. Amortised O(1)
+// per dequeue.
+func (d *DRAM) compact(ch int) {
+	h := d.heads[ch]
+	buf := d.queues[ch]
+	if h < 1024 || h*2 < len(buf) {
+		return
+	}
+	n := copy(buf, buf[h:])
+	tail := buf[n:]
+	for i := range tail {
+		tail[i] = qent{} // release retired *Request pointers
+	}
+	d.queues[ch] = buf[:n]
+	d.heads[ch] = 0
 }
 
 // QueueLen returns the number of waiting (unscheduled) requests.
 func (d *DRAM) QueueLen() int {
 	n := 0
-	for _, q := range d.queues {
-		n += len(q)
+	for ch := range d.queues {
+		n += len(d.queues[ch]) - d.heads[ch]
 	}
 	return n
 }
@@ -166,9 +206,9 @@ func (d *DRAM) Inflight() int { return len(d.inflight) }
 // ForEach visits every queued and in-service request in unspecified order.
 // Used by the invariant checker; fn must not mutate the model.
 func (d *DRAM) ForEach(fn func(*memtypes.Request)) {
-	for _, q := range d.queues {
-		for _, req := range q {
-			fn(req)
+	for ch := range d.queues {
+		for _, e := range d.waiting(ch) {
+			fn(e.req)
 		}
 	}
 	for i := range d.inflight {
@@ -186,24 +226,140 @@ func (d *DRAM) Stalled() bool { return d.stalled }
 
 // TickEach advances one core cycle and hands every request whose data
 // transfer completes at this cycle to fn, in completion order. This is the
-// engine-facing path: it allocates nothing.
-func (d *DRAM) TickEach(cycle int64, fn func(*memtypes.Request)) {
+// engine-facing path: it allocates nothing. The return value reports
+// whether the tick changed scheduling state (issued a bank access or
+// completed a transfer) — an idle tick did nothing Skip's closed forms
+// don't reproduce, so the engine may cache NextEvent's answer after one.
+func (d *DRAM) TickEach(cycle int64, fn func(*memtypes.Request)) bool {
 	if d.stalled {
-		return
+		return false
 	}
 	d.tokens += d.bytesPerCycle
 	if d.tokens > d.maxTokens {
 		d.tokens = d.maxTokens
 	}
+	active := false
 	// Schedule new work per channel.
 	for ch := 0; ch < d.channels; ch++ {
-		d.schedule(ch, cycle)
+		if d.schedule(ch, cycle) {
+			active = true
+		}
 	}
 	if len(d.inflight) > 0 {
 		d.Stats.BusyCycles++
 	}
 	for len(d.inflight) > 0 && d.inflight[0].done <= cycle {
 		fn(d.inflight.popRoot().req)
+		active = true
+	}
+	return active
+}
+
+// NextEvent advertises the earliest cycle >= now at which the model can
+// change simulated state if ticked every cycle (the event-driven engine's
+// component protocol; see sim/event.go): the earliest in-flight completion,
+// or the earliest cycle at which some channel could schedule queued work —
+// the first cycle where the bandwidth tokens reach one line AND a bank in
+// the channel's scheduling window is ready. Token refills and the busy-
+// cycle counter are not events; Skip reproduces them in closed form. A
+// stalled (chaos-frozen) model is quiescent by construction.
+//
+// The token horizon emulates TickEach's refill-then-clamp float arithmetic
+// step for step, so the advertised cycle is exact, never late: during a
+// skipped span nothing is scheduled or completed, so the token trajectory
+// is pure refills — at most a handful before the burst cap clamps.
+func (d *DRAM) NextEvent(now int64) (int64, bool) {
+	if d.stalled {
+		return 0, false
+	}
+	best, any := int64(0), false
+	merge := func(c int64) {
+		if c < now {
+			c = now
+		}
+		if !any || c < best {
+			best, any = c, true
+		}
+	}
+	if len(d.inflight) > 0 {
+		merge(d.inflight[0].done)
+	}
+	if d.QueueLen() > 0 {
+		if delay, ok := d.tokenDelay(); ok {
+			tokenReady := now + delay
+			for ch := 0; ch < d.channels; ch++ {
+				q := d.waiting(ch)
+				if len(q) == 0 {
+					continue
+				}
+				window := len(q)
+				if window > 16 {
+					window = 16
+				}
+				bankReady := int64(-1)
+				for _, e := range q[:window] {
+					if r := d.banks[e.bank].readyAt; bankReady < 0 || r < bankReady {
+						bankReady = r
+					}
+				}
+				c := tokenReady
+				if bankReady > c {
+					c = bankReady
+				}
+				merge(c)
+			}
+		}
+	}
+	return best, any
+}
+
+// tokenDelay returns the number of cycles until the bandwidth tokens first
+// cover one line, emulating TickEach's refill exactly (the tick's refill
+// happens before scheduling, so a delay of 0 means the very next tick can
+// schedule). ok == false means the burst cap is below one line and the
+// model can never schedule — a degenerate configuration that livelocks the
+// strict engine identically.
+func (d *DRAM) tokenDelay() (int64, bool) {
+	tok := d.tokens
+	for k := int64(0); ; k++ {
+		tok += d.bytesPerCycle
+		if tok > d.maxTokens {
+			tok = d.maxTokens
+		}
+		if tok >= memtypes.LineSize {
+			return k, true
+		}
+		if tok == d.maxTokens {
+			return 0, false
+		}
+	}
+}
+
+// Skip advances the model over the span [from, to) without ticking,
+// reproducing exactly what that many TickEach calls would have done given
+// that nothing is scheduled or completed in the span (the engine only skips
+// up to the advertised NextEvent): the bandwidth tokens refill with the
+// identical float operations — the loop terminates early once the burst cap
+// clamps, a fixed point of refill-then-clamp — and the busy counter accrues
+// the span when requests are in service. A stalled model is frozen, exactly
+// as TickEach leaves it.
+func (d *DRAM) Skip(from, to int64) {
+	if d.stalled {
+		return
+	}
+	span := to - from
+	for i := int64(0); i < span; i++ {
+		d.tokens += d.bytesPerCycle
+		if d.tokens > d.maxTokens {
+			d.tokens = d.maxTokens
+			break
+		}
+		if d.tokens == d.maxTokens {
+			break
+		}
+	}
+	if len(d.inflight) > 0 {
+		d.Stats.BusyCycles += span
 	}
 }
 
@@ -217,11 +373,12 @@ func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
 }
 
 // schedule starts at most one request on the channel this cycle (the data
-// bus is shared), preferring the oldest row hit (FR-FCFS-lite).
-func (d *DRAM) schedule(ch int, cycle int64) {
-	q := d.queues[ch]
+// bus is shared), preferring the oldest row hit (FR-FCFS-lite); true if it
+// issued one.
+func (d *DRAM) schedule(ch int, cycle int64) bool {
+	q := d.waiting(ch)
 	if len(q) == 0 || d.tokens < memtypes.LineSize {
-		return
+		return false
 	}
 	// The scheduler inspects a bounded window of the queue head (a real
 	// controller's transaction queue is finite); this also bounds the
@@ -232,32 +389,34 @@ func (d *DRAM) schedule(ch int, cycle int64) {
 	}
 	pick := -1
 	// First pass: oldest row hit on a ready bank.
-	for i, req := range q[:window] {
-		_, bk, row := d.bankOf(req.Line)
-		b := &d.banks[ch*d.perChan+bk]
-		if b.readyAt <= cycle && b.rowValid && b.openRow == row {
+	for i := range q[:window] {
+		e := &q[i]
+		b := &d.banks[e.bank]
+		if b.readyAt <= cycle && b.rowValid && b.openRow == e.row {
 			pick = i
 			break
 		}
 	}
 	if pick < 0 {
 		// Second pass: oldest request on a ready bank.
-		for i, req := range q[:window] {
-			_, bk, _ := d.bankOf(req.Line)
-			b := &d.banks[ch*d.perChan+bk]
-			if b.readyAt <= cycle {
+		for i := range q[:window] {
+			if d.banks[q[i].bank].readyAt <= cycle {
 				pick = i
 				break
 			}
 		}
 	}
 	if pick < 0 {
-		return
+		return false
 	}
-	req := q[pick]
-	d.queues[ch] = append(q[:pick], q[pick+1:]...)
-	_, bk, row := d.bankOf(req.Line)
-	b := &d.banks[ch*d.perChan+bk]
+	req, row := q[pick].req, q[pick].row
+	b := &d.banks[q[pick].bank]
+	// Dequeue q[pick] preserving FIFO order: shift the older prefix right
+	// one slot (at most window-1 entries) and advance the head.
+	copy(q[1:pick+1], q[:pick])
+	q[0] = qent{}
+	d.heads[ch]++
+	d.compact(ch)
 
 	t := &d.timing
 	var lat float64
@@ -308,4 +467,5 @@ func (d *DRAM) schedule(ch int, cycle int64) {
 			d.Stats.RegRestoreBytes += memtypes.LineSize
 		}
 	}
+	return true
 }

@@ -191,13 +191,16 @@ func (r *Runner) cycles(cfg *config.Config) int64 {
 // are part of the fingerprint by construction: a faulted run can never
 // alias a clean cache or journal entry.
 //
-// GPU.Workers is the one deliberate exclusion: it only chooses how many
-// threads step the SMs, and results are bit-identical at every worker
-// count (test-enforced, DESIGN.md §9) — so runs at different worker counts
-// share memo and journal entries instead of re-simulating.
+// GPU.Workers and Strict are the two deliberate exclusions: Workers only
+// chooses how many threads step the SMs, and Strict only chooses whether
+// the run loop ticks every cycle or fast-forwards over provably idle spans
+// — results are bit-identical at every worker count and in both run modes
+// (test-enforced, DESIGN.md §9 and §10) — so such runs share memo and
+// journal entries instead of re-simulating.
 func cfgFingerprint(cfg *config.Config) string {
 	canon := *cfg
 	canon.GPU.Workers = 0
+	canon.Strict = false
 	return fmt.Sprintf("%v", canon)
 }
 

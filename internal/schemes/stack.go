@@ -150,6 +150,32 @@ func (s *stackState) OnCycle(cycle int64) {
 	}
 }
 
+// NextEvent merges the members' advertisements: the stack can change state
+// whenever any member can, so the combined event is the earliest one.
+func (s *stackState) NextEvent(now int64) (int64, bool) {
+	best, any := int64(0), false
+	for _, p := range s.ps {
+		c, ok := p.NextEvent(now)
+		if !ok {
+			continue
+		}
+		if c < now {
+			c = now
+		}
+		if !any || c < best {
+			best, any = c, true
+		}
+	}
+	return best, any
+}
+
+// SkipCycles fans the skipped span out to every member, mirroring OnCycle.
+func (s *stackState) SkipCycles(from, to int64) {
+	for _, p := range s.ps {
+		p.SkipCycles(from, to)
+	}
+}
+
 // ExtraStats implements sim.ExtraStatser, merging member stats.
 func (s *stackState) ExtraStats() map[string]float64 {
 	out := map[string]float64{}

@@ -26,7 +26,9 @@ func (s SWL) Name() string { return fmt.Sprintf("SWL-%d", s.Limit) }
 
 // Attach implements sim.Policy.
 func (s SWL) Attach(sm *sim.SM) sim.SMPolicy {
-	return &swlState{sm: sm, limit: s.Limit}
+	st := &swlState{sm: sm, limit: s.Limit, active: make([]bool, sm.MaxResident())}
+	st.rebuild()
+	return st
 }
 
 type swlState struct {
@@ -34,26 +36,46 @@ type swlState struct {
 	sm    *sim.SM
 	limit int
 
+	// active caches each slot's issue permission. CTA residency only moves
+	// in the launch/complete hooks, which rebuild the cache, so the O(slots²)
+	// rank computation runs per residency change instead of per scheduler
+	// query — CTAActive sits on the warp scheduler's innermost loop.
+	active []bool
+
 	durByteCycles float64
 	cycles        int64
 }
 
-// CTAActive allows the `limit` oldest resident CTAs to run.
-func (s *swlState) CTAActive(slot int) bool {
-	info := s.sm.CTA(slot)
-	if !info.Resident {
-		return true
-	}
-	// Rank the slot by CTA age (launch sequence) among resident CTAs.
-	rank := 0
-	for i := 0; i < s.sm.MaxResident(); i++ {
-		o := s.sm.CTA(i)
-		if i != slot && o.Resident && (o.Seq < info.Seq) {
-			rank++
+// rebuild recomputes every slot's permission: the `limit` oldest resident
+// CTAs (ranked by launch sequence) may run; empty slots stay permissive so
+// a freshly launched CTA is judged by its own rank.
+func (s *swlState) rebuild() {
+	for slot := range s.active {
+		info := s.sm.CTA(slot)
+		if !info.Resident {
+			s.active[slot] = true
+			continue
 		}
+		rank := 0
+		for i := 0; i < s.sm.MaxResident(); i++ {
+			o := s.sm.CTA(i)
+			if i != slot && o.Resident && (o.Seq < info.Seq) {
+				rank++
+			}
+		}
+		s.active[slot] = rank < s.limit
 	}
-	return rank < s.limit
 }
+
+// CTAActive allows the `limit` oldest resident CTAs to run.
+func (s *swlState) CTAActive(slot int) bool { return s.active[slot] }
+
+// OnCTALaunch implements sim.SMPolicy: residency changed, recompute ranks.
+func (s *swlState) OnCTALaunch(int, int, int64) { s.rebuild() }
+
+// OnCTAComplete implements sim.SMPolicy: a completed CTA frees a rank, which
+// may admit the next-oldest throttled CTA.
+func (s *swlState) OnCTAComplete(int, int64) { s.rebuild() }
 
 // OnCycle integrates the dynamically-unused register bytes (Figure 4).
 func (s *swlState) OnCycle(cycle int64) {
@@ -64,6 +86,26 @@ func (s *swlState) OnCycle(cycle int64) {
 		throttled = 0
 	}
 	s.durByteCycles += float64(throttled * s.sm.Kernel().RegsPerCTA() * config.LineSize)
+}
+
+// NextEvent implements sim.SMPolicy: SWL has no self-driven state changes —
+// its throttle set is a pure function of CTA residency, which only moves in
+// launch/complete hooks — so it is permanently quiescent. The per-cycle DUR
+// integral is not an event; SkipCycles reproduces it.
+func (s *swlState) NextEvent(int64) (int64, bool) { return 0, false }
+
+// SkipCycles implements sim.SMPolicy: the DUR integral of OnCycle in closed
+// form. The throttled-CTA count is constant across a skipped span (residency
+// changes only in ticked hooks), and the integral adds integer-valued
+// float64 terms, so one multiply-add is bit-identical to span additions.
+func (s *swlState) SkipCycles(from, to int64) {
+	span := to - from
+	s.cycles += span
+	throttled := s.sm.ResidentCTAs() - s.limit
+	if throttled < 0 {
+		throttled = 0
+	}
+	s.durByteCycles += float64(span * int64(throttled*s.sm.Kernel().RegsPerCTA()*config.LineSize))
 }
 
 // ExtraStats implements sim.ExtraStatser.

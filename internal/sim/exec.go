@@ -135,7 +135,10 @@ func (e *smExecutor) tickRange(cyc int64, lo, hi int) (wp *workerPanic) {
 		if e.g.smFaults != nil {
 			e.g.smFaults.SMTick(e.g, smID, cyc)
 		}
-		sm.tick(cyc)
+		// stepSM may sleep the SM through this cycle (event.go); the wake
+		// cache it reads is only written by this worker's own ticks and by
+		// coordinator code between barriers, so the access is race-free.
+		e.g.stepSM(sm, cyc)
 	}
 	return nil
 }

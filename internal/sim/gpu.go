@@ -48,6 +48,10 @@ type GPU struct {
 	nextCTA int
 	cycle   int64
 
+	// skipped counts cycles the run loop fast-forwarded over instead of
+	// ticking (event.go). Diagnostic only: never part of Result/StateDump.
+	skipped int64
+
 	// workers is the resolved intra-run parallelism (config.GPU.Workers
 	// against this machine); exec is the persistent SM worker pool, built
 	// lazily on the first Step when workers > 1 and torn down by Close.
@@ -58,6 +62,21 @@ type GPU struct {
 	checker  CycleChecker
 	faults   FaultInjector
 	smFaults SMTickFaultInjector
+
+	// smSleep enables per-SM sleeping inside ticked cycles (see stepSM in
+	// event.go). RunCtx turns it on for event-driven runs with no fault
+	// injector: SMTick faults must observe a real tick on every cycle, so
+	// any injector forces full per-SM ticking even when global skipping
+	// stays legal.
+	smSleep bool
+
+	// dramWake caches the DRAM's next event cycle, mirroring the per-SM
+	// wake cache: while the clock is below it (and nothing new was
+	// enqueued — dramDirty), the dram stage applies Skip's closed-form
+	// token/busy accruals instead of running the full scheduler scan.
+	// Only consulted when smSleep is on.
+	dramWake  int64
+	dramDirty bool
 
 	// progress publishes the cumulative committed-instruction count at
 	// RunCtx checkpoints. It is the only GPU state a harness watchdog may
@@ -185,6 +204,17 @@ const checkpointCycles = 8192
 // Progress). On cancellation the returned error wraps context.Cause(ctx)
 // and the machine is left in a consistent between-cycles state — Collect
 // and StateDump remain safe, but the run must not be resumed.
+//
+// Unless cfg.Strict is set, the loop is event-driven: when no component can
+// change state this cycle it fast-forwards to the earliest advertised event
+// (event.go), clamped to the next checkpoint so cancellation latency and
+// watchdog cadence stay bounded in simulated time. Skipped spans publish no
+// new progress — committed instructions cannot change across a skip — so a
+// livelocked machine still trips an external forward-progress watchdog.
+// Results and state dumps are bit-identical to strict mode (test-enforced,
+// DESIGN.md §10). A fault injector that does not implement NextEventer
+// forces strict ticking: the engine cannot know which cycles it must not
+// jump over.
 func (g *GPU) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 	// A parallel run's worker pool lives exactly as long as the run loop:
 	// Step builds it lazily, and no goroutine survives past this return
@@ -198,7 +228,16 @@ func (g *GPU) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 	if every <= 0 || every > checkpointCycles {
 		every = checkpointCycles
 	}
+	skipping := !g.cfg.Strict
+	if skipping && g.faults != nil {
+		_, skipping = g.faults.(NextEventer)
+	}
+	g.smSleep = skipping && g.faults == nil
 	g.progress.Store(g.committed())
+	// nextCheck is the first cycle count at or past which a checkpoint
+	// fires — the accumulator form of the strict engine's cycle%every == 0
+	// test, shared by both modes so checkpoint cycles coincide.
+	nextCheck := (g.cycle/every + 1) * every
 	for {
 		if maxCycles > 0 && g.cycle >= maxCycles {
 			g.progress.Store(g.committed())
@@ -208,12 +247,29 @@ func (g *GPU) RunCtx(ctx context.Context, maxCycles int64) (int64, error) {
 			g.progress.Store(g.committed())
 			return g.cycle, nil
 		}
+		if skipping {
+			target, ok := g.nextEventCycle(g.cycle)
+			if !ok || target > nextCheck {
+				// No event before the checkpoint (or none ever — a wedged
+				// machine): advance checkpoint-by-checkpoint so ctx and
+				// watchdogs keep observing the run.
+				target = nextCheck
+			}
+			if maxCycles > 0 && target > maxCycles {
+				target = maxCycles
+			}
+			if target > g.cycle {
+				g.skipTo(target)
+				continue
+			}
+		}
 		g.Step()
-		if g.cycle%every == 0 {
+		if g.cycle >= nextCheck {
 			g.progress.Store(g.committed())
 			if ctx.Err() != nil {
 				return g.cycle, fmt.Errorf("sim: run aborted at cycle %d: %w", g.cycle, context.Cause(ctx))
 			}
+			nextCheck += every
 		}
 	}
 }
@@ -287,7 +343,7 @@ func (g *GPU) Step() {
 			if g.smFaults != nil {
 				g.smFaults.SMTick(g, id, cyc)
 			}
-			sm.tick(cyc)
+			g.stepSM(sm, cyc)
 		}
 	}
 	// Barrier merge: drain the per-SM outboxes into the interconnect in
@@ -305,9 +361,29 @@ func (g *GPU) Step() {
 	g.toL2.DeliverEach(cyc, func(req *memtypes.Request) { g.l2Queue.Push(req) })
 	g.serviceL2(cyc)
 
-	// DRAM.
+	// DRAM. With sleeping enabled and no event due (and no enqueue this
+	// cycle), the tick reduces to the closed-form token refill and busy
+	// accrual — provably what the full tick would have done (DESIGN.md
+	// §10) — and the scheduler scan is elided.
 	g.stage("dram", cyc)
-	g.dram.TickEach(cyc, func(req *memtypes.Request) { g.dramComplete(req, cyc) })
+	if g.smSleep && cyc < g.dramWake && !g.dramDirty {
+		g.dram.Skip(cyc, cyc+1)
+	} else {
+		active := g.dram.TickEach(cyc, func(req *memtypes.Request) { g.dramComplete(req, cyc) })
+		g.dramDirty = false
+		if g.smSleep {
+			if active {
+				// A scheduling or completing DRAM is almost always about
+				// to do it again; probing it would cost as much as the
+				// tick it tries to save.
+				g.dramWake = cyc + 1
+			} else if e, ok := g.dram.NextEvent(cyc + 1); ok {
+				g.dramWake = e
+			} else {
+				g.dramWake = neverWake
+			}
+		}
+	}
 
 	// Responses arriving at SMs.
 	g.stage("response", cyc)
@@ -329,7 +405,7 @@ func (g *GPU) dispatch(cyc int64) {
 		if g.nextCTA >= g.kernel.GridCTAs {
 			return
 		}
-		if sm.FreeSlot() < 0 || !sm.pol.AllowNewCTA() {
+		if !sm.HasFreeSlot() || !sm.pol.AllowNewCTA() {
 			continue
 		}
 		if sm.launchCTA(g.nextCTA, cyc) {
@@ -351,13 +427,21 @@ func (g *GPU) serviceL2(cyc int64) {
 	}
 }
 
+// enqueueDRAM hands a request to the DRAM and marks the wake cache dirty:
+// a fresh arrival can create a schedule opportunity earlier than the last
+// advertised event, so the next dram stage must run the full tick.
+func (g *GPU) enqueueDRAM(req *memtypes.Request) {
+	g.dram.Enqueue(req)
+	g.dramDirty = true
+}
+
 // l2Access performs one L2 access; false means stall.
 func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 	switch req.Kind {
 	case memtypes.RegBackup, memtypes.RegRestore:
 		// Register backup space is a dedicated off-chip region; it does not
 		// pollute the L2.
-		g.dram.Enqueue(req)
+		g.enqueueDRAM(req)
 		return true
 	case memtypes.Store:
 		// Death point: the L2 is write-allocate, so a store retires here.
@@ -367,7 +451,7 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 		// objects to their origin keeps every per-SM free list balanced.
 		res, ev, evicted := g.l2.Store(req.Line)
 		if evicted && ev.Dirty {
-			g.dram.Enqueue(g.writeback(ev.Line, req.SM))
+			g.enqueueDRAM(g.writeback(ev.Line, req.SM))
 		}
 		_ = res
 		g.sms[req.SM].pool.Put(req)
@@ -375,7 +459,7 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 	case memtypes.Load:
 		res, ev, evicted := g.l2.Load(req.Line, 0, true)
 		if evicted && ev.Dirty {
-			g.dram.Enqueue(g.writeback(ev.Line, req.SM))
+			g.enqueueDRAM(g.writeback(ev.Line, req.SM))
 		}
 		switch res {
 		case cache.Hit:
@@ -383,7 +467,7 @@ func (g *GPU) l2Access(req *memtypes.Request, cyc int64) bool {
 		case cache.HitPending:
 			g.l2Waiters[req.Line] = append(g.l2Waiters[req.Line], req)
 		case cache.Miss, cache.MissNoAlloc:
-			g.dram.Enqueue(req)
+			g.enqueueDRAM(req)
 		case cache.Stall:
 			return false
 		}

@@ -80,6 +80,23 @@ type SMPolicy interface {
 	// implement window boundaries, backup draining and throttle decisions
 	// here.
 	OnCycle(cycle int64)
+
+	// NextEvent advertises the earliest cycle (>= now) at which the policy
+	// can change simulated state on its own — typically its next window or
+	// ranking boundary. ok == false means the policy is quiescent: it will
+	// not change state until some engine hook (load outcome, CTA launch,
+	// register response, ...) fires. Returning now blocks cycle skipping.
+	// Advertising too early is always safe; advertising past a state change
+	// is an engine bug (property-tested). See DESIGN.md §10.
+	NextEvent(now int64) (int64, bool)
+
+	// SkipCycles informs the policy that the engine fast-forwarded from
+	// cycle `from` to cycle `to` without ticking: OnCycle was not called for
+	// cycles [from, to). Policies that integrate per-cycle quantities
+	// (occupancy, victim-capacity or unused-register byte-cycles) must apply
+	// the closed-form update for the span here, bit-identically to `to-from`
+	// repeated OnCycle calls.
+	SkipCycles(from, to int64)
 }
 
 // Outcome classifies one load line-request for reporting (Figure 13) and
@@ -160,6 +177,14 @@ func (BasePolicy) OnRegResponse(*memtypes.Request, int64) {}
 
 // OnCycle implements SMPolicy.
 func (BasePolicy) OnCycle(int64) {}
+
+// NextEvent implements SMPolicy: the base policy is stateless, so it is
+// permanently quiescent. Schemes whose OnCycle does real work must override
+// this (and SkipCycles) — the lbvet nextevent analyzer enforces it.
+func (BasePolicy) NextEvent(int64) (int64, bool) { return 0, false }
+
+// SkipCycles implements SMPolicy: nothing accrues per cycle.
+func (BasePolicy) SkipCycles(int64, int64) {}
 
 // Baseline is the unmodified GPU of Table 1.
 type Baseline struct{}

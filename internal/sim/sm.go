@@ -75,7 +75,10 @@ type SM struct {
 	ctas  []CTASlotInfo
 
 	maxResidentCTAs int
-	warpsPerCTA     int
+	// freeSlots counts non-resident CTA slots — the O(1) answer behind
+	// HasFreeSlot, maintained by launchCTA and completeCTA.
+	freeSlots   int
+	warpsPerCTA int
 
 	// GTO scheduler state: the last warp each scheduler issued from.
 	lastIssued []int
@@ -94,6 +97,27 @@ type SM struct {
 	pool memtypes.RequestPool
 
 	pol SMPolicy
+
+	// nextWake caches this SM's next event cycle (see event.go): while the
+	// run clock is below it, stepSM replaces the tick with the closed-form
+	// accruals of skipCycles. Purely an engine shortcut — simulated state
+	// is bit-identical either way. Invalidated (set to 0) by the two
+	// external inputs an SM has: a response delivery (handleResponse) and
+	// a CTA launch (launchCTA). sleepStalled caches the head-of-line MSHR
+	// stall verdict for the sleep span — the predicate cannot change while
+	// the SM sleeps (only a fill changes it, and a fill resets nextWake),
+	// so the per-cycle accrual avoids re-deriving the head's address.
+	// scanWake is the merged future-ready minimum gathered by issue()'s
+	// failed scheduler scans — valid only for the cycle of an issue-less
+	// tick, where it hands stepSM the warp part of NextEvent for free.
+	// slept counts the cycles this SM's state advanced through the
+	// closed-form sleep/skip path instead of a full tick — per-SM sleeping
+	// and global fast-forwards both land here. Diagnostic only (the skip
+	// ratio of the benchmark trajectory); never part of Result/StateDump.
+	nextWake     int64
+	scanWake     int64
+	sleepStalled bool
+	slept        int64
 
 	// Probe, when non-nil, observes every load and store line-request
 	// (used by the Figure 2/3 working-set probes and the trace recorder).
@@ -136,6 +160,7 @@ func newSM(id int, cfg *config.Config, k *workload.Kernel) *SM {
 	sm.maxResidentCTAs = MaxResidentCTAs(g, k)
 	sm.warps = make([]Warp, sm.maxResidentCTAs*k.WarpsPerCTA)
 	sm.ctas = make([]CTASlotInfo, sm.maxResidentCTAs)
+	sm.freeSlots = sm.maxResidentCTAs
 	return sm
 }
 
@@ -200,6 +225,9 @@ func (sm *SM) Retired() int64 { return sm.Stats.Retired }
 
 // FreeSlot returns a free CTA slot index, or -1.
 func (sm *SM) FreeSlot() int {
+	if sm.freeSlots == 0 {
+		return -1
+	}
 	for i := range sm.ctas {
 		if !sm.ctas[i].Resident {
 			return i
@@ -207,6 +235,11 @@ func (sm *SM) FreeSlot() int {
 	}
 	return -1
 }
+
+// HasFreeSlot reports whether any CTA slot is free — the O(1) form of
+// FreeSlot() >= 0, for the dispatch stage and the event probe, both of
+// which test eligibility every cycle.
+func (sm *SM) HasFreeSlot() bool { return sm.freeSlots > 0 }
 
 // SendRegTraffic emits one register backup (write) or restore (read) line
 // request directly to off-chip memory. rn identifies the register; the
@@ -275,14 +308,18 @@ func (sm *SM) launchCTA(seq int, cycle int64) bool {
 		w := &sm.warps[slot*sm.warpsPerCTA+i]
 		*w = Warp{Alive: true, CTASlot: slot, Idx: i, Seq: seq}
 	}
+	sm.freeSlots--
 	sm.Stats.CTALaunches++
 	sm.pol.OnCTALaunch(slot, seq, cycle)
+	// External input: fresh warps mean fresh events (see event.go).
+	sm.nextWake = 0
 	return true
 }
 
 // completeCTA retires the CTA in the slot.
 func (sm *SM) completeCTA(slot int, cycle int64) {
 	sm.ctas[slot].Resident = false
+	sm.freeSlots++
 	sm.rf.Free(slot)
 	sm.Stats.CTADone++
 	sm.pol.OnCTAComplete(slot, cycle)
@@ -301,43 +338,73 @@ func (sm *SM) Busy() bool {
 // --- per-cycle pipeline ---
 
 // tick advances the SM one cycle: schedulers issue, the LSU retires line
-// requests, and the policy runs.
-func (sm *SM) tick(cycle int64) {
-	sm.issue(cycle)
-	sm.runLSU(cycle)
+// requests, and the policy runs. The return value reports whether the
+// front-end did any work (issued an instruction or moved an LSU request) —
+// a cheap activity hint stepSM uses to decide when an event rescan is
+// worth it; it carries no correctness weight (see event.go).
+func (sm *SM) tick(cycle int64) bool {
+	issued := sm.issue(cycle)
+	moved := sm.runLSU(cycle)
 	sm.pol.OnCycle(cycle)
+	return issued || moved
 }
 
-// issue runs the GTO warp schedulers.
-func (sm *SM) issue(cycle int64) {
+// issue runs the GTO warp schedulers; true if any of them issued. When no
+// scheduler issues, every scheduler performed a full scan of its warp
+// partition, and the merged future-ready minimum is cached in scanWake —
+// the per-SM sleeper (event.go) reads it instead of re-scanning.
+func (sm *SM) issue(cycle int64) bool {
 	ns := sm.cfg.GPU.NumSchedulers
+	issued := false
+	future := neverWake
 	for s := 0; s < ns; s++ {
-		w := sm.pickWarp(s, cycle)
+		w, f := sm.pickWarp(s, cycle)
 		if w < 0 {
 			sm.Stats.IssueIdle++
+			if f < future {
+				future = f
+			}
 			continue
 		}
+		issued = true
 		sm.lastIssued[s] = w
 		sm.execute(&sm.warps[w], cycle)
 	}
+	sm.scanWake = future
+	return issued
 }
 
-// pickWarp implements greedy-then-oldest among the scheduler's warps.
-func (sm *SM) pickWarp(sched int, cycle int64) int {
+// pickWarp implements greedy-then-oldest among the scheduler's warps. The
+// second result is the earliest readyAt among this scheduler's alive,
+// under-MLP warps that are not ready yet (neverWake if none) — gathered
+// for free during the failed scan; meaningful only when no warp is picked.
+func (sm *SM) pickWarp(sched int, cycle int64) (int, int64) {
 	ns := sm.cfg.GPU.NumSchedulers
 	mlp := sm.cfg.GPU.MaxWarpMLP
 	// Greedy: stick with the last issued warp while it remains ready.
 	if last := sm.lastIssued[sched]; last >= 0 {
 		w := &sm.warps[last]
 		if w.ready(cycle, mlp) && sm.pol.CTAActive(w.CTASlot) && sm.pol.WarpActive(last) {
-			return last
+			return last, 0
 		}
 	}
-	// Oldest: smallest (CTA seq, warp idx) among ready warps.
+	// Oldest: smallest (CTA seq, warp idx) among ready warps. Policy gates
+	// are consulted only for warps ready this cycle, exactly as the fused
+	// w.ready(...) check did: not-ready short-circuited past the gates.
 	best := -1
+	future := neverWake
 	for i := sched; i < len(sm.warps); i += ns {
 		w := &sm.warps[i]
-		if !w.ready(cycle, mlp) || !sm.pol.CTAActive(w.CTASlot) || !sm.pol.WarpActive(i) {
+		if !w.Alive || w.memPending >= mlp {
+			continue
+		}
+		if w.readyAt > cycle {
+			if w.readyAt < future {
+				future = w.readyAt
+			}
+			continue
+		}
+		if !sm.pol.CTAActive(w.CTASlot) || !sm.pol.WarpActive(i) {
 			continue
 		}
 		if best < 0 {
@@ -349,7 +416,7 @@ func (sm *SM) pickWarp(sched int, cycle int64) int {
 			best = i
 		}
 	}
-	return best
+	return best, future
 }
 
 // execute issues the warp's next instruction.
@@ -422,14 +489,16 @@ func (sm *SM) retireWarp(w *Warp, cycle int64) {
 	}
 }
 
-// runLSU retires up to lsuWidth line requests.
-func (sm *SM) runLSU(cycle int64) {
-	for n := 0; n < sm.lsuWidth && sm.lsu.Len() > 0; n++ {
+// runLSU retires up to lsuWidth line requests; true if any moved.
+func (sm *SM) runLSU(cycle int64) bool {
+	n := 0
+	for ; n < sm.lsuWidth && sm.lsu.Len() > 0; n++ {
 		if !sm.processOp(sm.lsu.Front(), cycle) {
-			return // head-of-line stall (MSHR full); retry next cycle
+			break // head-of-line stall (MSHR full); retry next cycle
 		}
 		sm.lsu.Pop()
 	}
+	return n > 0
 }
 
 // ctx builds the address-generation context for a warp.
@@ -546,6 +615,9 @@ func (sm *SM) finishLoad(w *Warp, cycle, latency int64) {
 // waiter is woken (loads) or the policy has observed the completion
 // (register traffic) — no component retains the pointer past those calls.
 func (sm *SM) handleResponse(req *memtypes.Request, cycle int64) {
+	// External input: whatever wake cycle the SM advertised is stale now —
+	// a fill can unstall the LSU head, wake waiters, retire warps.
+	sm.nextWake = 0
 	switch req.Kind {
 	case memtypes.Load:
 		sm.l1.Fill(req.Line)
