@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/linebacker-sim/linebacker/internal/analysis"
+)
+
+// baselineEntry identifies a reviewed, accepted finding. Line numbers are
+// deliberately absent: unrelated edits move findings around, and a baseline
+// that churns on every edit stops being reviewable.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Message  string `json:"message"`
+}
+
+// writeBaseline records the current findings as the accepted baseline.
+func writeBaseline(path string, diags []analysis.Diagnostic) error {
+	seen := map[baselineEntry]bool{}
+	var entries []baselineEntry
+	for _, d := range diags {
+		e := baselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	if entries == nil {
+		entries = []baselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline drops findings recorded in the baseline file. It returns
+// the surviving findings, how many were suppressed, and how many baseline
+// entries matched nothing (stale entries a fixed finding leaves behind).
+func applyBaseline(path string, diags []analysis.Diagnostic) (kept []analysis.Diagnostic, suppressed, stale int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, 0, 0, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	matched := map[baselineEntry]bool{}
+	index := map[baselineEntry]bool{}
+	for _, e := range entries {
+		index[e] = true
+	}
+	for _, d := range diags {
+		e := baselineEntry{Analyzer: d.Analyzer, File: d.Pos.Filename, Message: d.Message}
+		if index[e] {
+			matched[e] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range entries {
+		if !matched[e] {
+			stale++
+		}
+	}
+	return kept, suppressed, stale, nil
+}

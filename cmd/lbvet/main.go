@@ -6,7 +6,15 @@
 //
 //	lbvet ./...
 //	lbvet -analyzers maprange,floatsum ./internal/sim ./internal/stats
+//	lbvet -skip errflow ./...
+//	lbvet -format sarif ./... > lbvet.sarif
+//	lbvet -baseline lbvet-baseline.json ./...
 //	lbvet -list
+//
+// Results are cached under <module>/.lbvet-cache keyed by source content,
+// the module-internal import closure, the toolchain and the analyzer set;
+// a warm run re-analyzes only what changed and its output is byte-identical
+// to a cold run. Disable with -no-cache.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/linebacker-sim/linebacker/internal/analysis"
 )
@@ -43,15 +52,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list  = fs.Bool("list", false, "list analyzers and exit")
-		dir   = fs.String("dir", ".", "directory to resolve package patterns from")
+		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		skip      = fs.String("skip", "", "comma-separated analyzers to exclude from the run")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		dir       = fs.String("dir", ".", "directory to resolve package patterns from")
+		format    = fs.String("format", "text", "output format: text, json or sarif")
+		baseline  = fs.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBase = fs.String("write-baseline", "", "write current findings to this baseline file and exit clean")
+		cacheDir  = fs.String("cache-dir", "", "cache directory (default: <module root>/.lbvet-cache)")
+		noCache   = fs.Bool("no-cache", false, "disable the incremental cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	analyzers, err := analysis.ByName(*names)
+	analyzers, err := analysis.Select(*names, *skip)
 	if err != nil {
 		return err
 	}
@@ -61,27 +76,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or sarif)", *format)
+	}
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		return errors.New("no packages (try: lbvet ./...)")
 	}
-	loader, err := analysis.NewLoader(*dir)
-	if err != nil {
-		return err
-	}
-	pkgs, err := loader.LoadPatterns(*dir, patterns)
+
+	diags, stats, err := analyze(*dir, patterns, analyzers, *cacheDir, *noCache)
 	if err != nil {
 		return err
 	}
 
-	diags := analysis.Run(loader.Fset, pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, diags); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "lbvet: wrote %d finding(s) to baseline %s\n", len(diags), *writeBase)
+		return nil
+	}
+	if *baseline != "" {
+		kept, suppressed, stale, err := applyBaseline(*baseline, diags)
+		if err != nil {
+			return err
+		}
+		diags = kept
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "lbvet: %d finding(s) suppressed by baseline\n", suppressed)
+		}
+		if stale > 0 {
+			fmt.Fprintf(stderr, "lbvet: %d stale baseline entr(y/ies) matched nothing — prune %s\n", stale, *baseline)
+		}
+	}
+
+	if err := writeDiags(stdout, *format, analyzers, diags); err != nil {
+		return err
+	}
+	if !*noCache {
+		fmt.Fprintf(stderr, "lbvet: %d/%d package(s) from cache, %d analyzed, %d loaded\n",
+			stats.CachedPackages, stats.Packages, stats.AnalyzedPackages, stats.LoadedPackages)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "lbvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		fmt.Fprintf(stderr, "lbvet: %d finding(s) in %d package(s)\n", len(diags), stats.Packages)
 		return errFindings
 	}
 	return nil
+}
+
+// analyze runs the suite through the incremental cache, or cold when the
+// cache is disabled. Either way the diagnostics come back module-relative
+// and sorted, so both paths print byte-identical output.
+func analyze(dir string, patterns []string, analyzers []*analysis.Analyzer, cacheDir string, noCache bool) ([]analysis.Diagnostic, analysis.RunStats, error) {
+	if noCache {
+		var stats analysis.RunStats
+		loader, err := analysis.NewLoader(dir)
+		if err != nil {
+			return nil, stats, err
+		}
+		pkgs, err := loader.LoadPatterns(dir, patterns)
+		if err != nil {
+			return nil, stats, err
+		}
+		diags := analysis.Relativize(loader.Root(), analysis.Run(loader.Fset, pkgs, analyzers))
+		stats.Packages = len(pkgs)
+		stats.AnalyzedPackages = len(pkgs)
+		stats.LoadedPackages = len(pkgs)
+		for _, p := range pkgs {
+			stats.PackagePaths = append(stats.PackagePaths, p.Path)
+		}
+		return diags, stats, nil
+	}
+	if cacheDir == "" {
+		loader, err := analysis.NewLoader(dir)
+		if err != nil {
+			return nil, analysis.RunStats{}, err
+		}
+		cacheDir = filepath.Join(loader.Root(), ".lbvet-cache")
+	}
+	return analysis.RunIncremental(dir, patterns, analyzers, cacheDir)
 }

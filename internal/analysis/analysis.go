@@ -29,8 +29,11 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // OrderedDirective is the escape-hatch comment that justifies a map
@@ -62,6 +65,35 @@ const PanicDirective = "//lbvet:panic"
 //	//lbvet:executor cycle-barrier SM worker: disjoint chunk, ordered merge
 const ExecutorDirective = "//lbvet:executor"
 
+// EventBoundDirective is the escape hatch of the skipclosure analyzer
+// (DESIGN.md §11). On a struct field it asserts the field only changes at
+// cycles the type's NextEvent advertises, so a skipped span can never
+// straddle an update and SkipCycles owes it nothing. On a method it asserts
+// the method only executes at advertised event boundaries (a window
+// boundary, a draining transfer that pins NextEvent to now), which excuses
+// every field the method writes — directly or transitively — from the
+// SkipCycles closure. Always give the reason after the directive, e.g.
+//
+//	//lbvet:eventbound runs only at the window boundary NextEvent advertises
+const EventBoundDirective = "//lbvet:eventbound"
+
+// SMSharedDirective is the escape hatch of the workershare analyzer: it
+// sanctions one write to shared engine state from code reachable during the
+// parallel SM phase, asserting the access is part of the cycle-barrier
+// executor's buffered-and-merged protocol (DESIGN.md §9). Always give the
+// reason after the directive, e.g.
+//
+//	//lbvet:smshared per-worker slot, merged in SM-index order at the barrier
+const SMSharedDirective = "//lbvet:smshared"
+
+// ErrOKDirective is the escape hatch of the errflow analyzer: it justifies
+// one deliberately discarded error value in the harness/cliutil packages —
+// typically a best-effort cleanup on a path already returning a more
+// important error. Always give the reason after the directive, e.g.
+//
+//	//lbvet:errok close on the error path; the open error is already returned
+const ErrOKDirective = "//lbvet:errok"
+
 // Package is one loaded, type-checked package.
 type Package struct {
 	// Path is the import path ("github.com/.../internal/sim").
@@ -81,6 +113,18 @@ type Package struct {
 	panicOK map[string]map[int]bool
 	// executorOK maps file name -> set of lines carrying ExecutorDirective.
 	executorOK map[string]map[int]bool
+	// eventBound maps file name -> set of lines carrying EventBoundDirective.
+	eventBound map[string]map[int]bool
+	// smShared maps file name -> set of lines carrying SMSharedDirective.
+	smShared map[string]map[int]bool
+	// errOK maps file name -> set of lines carrying ErrOKDirective.
+	errOK map[string]map[int]bool
+
+	// summaryOnce guards the lazily built write-summary substrate shared by
+	// the dataflow analyzers (skipclosure, workershare); analyzers may run
+	// concurrently over the same package.
+	summaryOnce sync.Once
+	summaries   map[*types.Func]*funcSummary
 }
 
 // Diagnostic is one finding.
@@ -157,6 +201,30 @@ func (p *Pass) ExecutorSanctioned(pkg *Package, n ast.Node) bool {
 	return lines[pos.Line] || lines[pos.Line-1]
 }
 
+// eventBoundAt reports whether the node carries an EventBoundDirective
+// comment on its own line or the line immediately above.
+func (pkg *Package) eventBoundAt(fset *token.FileSet, n ast.Node) bool {
+	pos := fset.Position(n.Pos())
+	lines := pkg.eventBound[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// smSharedAt reports whether the node carries an SMSharedDirective comment
+// on its own line or the line immediately above.
+func (pkg *Package) smSharedAt(fset *token.FileSet, n ast.Node) bool {
+	pos := fset.Position(n.Pos())
+	lines := pkg.smShared[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// errOKAt reports whether the node carries an ErrOKDirective comment on its
+// own line or the line immediately above.
+func (pkg *Package) errOKAt(fset *token.FileSet, n ast.Node) bool {
+	pos := fset.Position(n.Pos())
+	lines := pkg.errOK[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -167,45 +235,165 @@ func Analyzers() []*Analyzer {
 		FloatSum,
 		NoPanic,
 		NextEvent,
+		SkipClosure,
+		WorkerShare,
+		ErrFlow,
 	}
 }
 
 // ByName resolves a comma-separated analyzer list ("maprange,floatsum").
-func ByName(names string) ([]*Analyzer, error) {
-	if names == "" {
-		return Analyzers(), nil
+// Duplicate or unknown names are errors.
+func ByName(names string) ([]*Analyzer, error) { return Select(names, "") }
+
+// Select resolves the run set from a comma-separated include list (empty
+// means the full suite) minus a comma-separated skip list. Unknown names
+// and duplicates — in either list — are errors, as is a registry that
+// exposes two analyzers under one name.
+func Select(names, skip string) ([]*Analyzer, error) {
+	return selectFrom(Analyzers(), names, skip)
+}
+
+func selectFrom(registry []*Analyzer, names, skip string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range registry {
+		if byName[a.Name] != nil {
+			return nil, fmt.Errorf("analyzer registry is corrupt: two analyzers named %q", a.Name)
+		}
+		byName[a.Name] = a
 	}
-	all := map[string]*Analyzer{}
-	for _, a := range Analyzers() {
-		all[a.Name] = a
+	splitList := func(list, flag string) ([]string, error) {
+		if list == "" {
+			return nil, nil
+		}
+		seen := map[string]bool{}
+		var out []string
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q in %s", n, flag)
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("duplicate analyzer %q in %s", n, flag)
+			}
+			seen[n] = true
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	include, err := splitList(names, "-analyzers")
+	if err != nil {
+		return nil, err
+	}
+	skipped, err := splitList(skip, "-skip")
+	if err != nil {
+		return nil, err
+	}
+	skipSet := map[string]bool{}
+	for _, n := range skipped {
+		skipSet[n] = true
 	}
 	var out []*Analyzer
-	for _, n := range strings.Split(names, ",") {
-		n = strings.TrimSpace(n)
-		a, ok := all[n]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", n)
+	if include == nil {
+		for _, a := range registry {
+			if !skipSet[a.Name] {
+				out = append(out, a)
+			}
 		}
-		out = append(out, a)
+	} else {
+		for _, n := range include {
+			if skipSet[n] {
+				return nil, fmt.Errorf("analyzer %q both selected and skipped", n)
+			}
+			out = append(out, byName[n])
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-skip excludes every analyzer")
 	}
 	return out, nil
 }
 
 // Run executes the given analyzers over the loaded packages and returns
-// the findings sorted by position.
+// the findings sorted by position. Per-(analyzer, package) units run
+// concurrently: analyzers only read the type-checked packages (the shared
+// dataflow substrate is built once per package under a sync.Once) and each
+// unit appends to its own slice, so the merged, sorted result is identical
+// at any parallelism level.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	perPkg, whole := runUnits(fset, pkgs, analyzers, nil)
 	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, perPkg[pkg.Path]...)
+	}
+	diags = append(diags, whole...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runUnits runs the analyzers and returns per-package findings (from
+// non-Whole analyzers, keyed by import path) and whole-program findings
+// separately — the split the incremental cache stores. Packages whose path
+// is in skipPkgs are not analyzed by per-package analyzers (their findings
+// come from the cache) but still participate in whole-program passes.
+func runUnits(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, skipPkgs map[string]bool) (perPkg map[string][]Diagnostic, whole []Diagnostic) {
+	type unit struct {
+		a   *Analyzer
+		pkg *Package // nil for whole-program units
+	}
+	var units []unit
 	for _, a := range analyzers {
 		if a.Whole {
-			pass := &Pass{Fset: fset, All: pkgs, analyzer: a, diags: &diags}
-			a.Run(pass)
+			units = append(units, unit{a: a})
 			continue
 		}
 		for _, pkg := range pkgs {
-			pass := &Pass{Fset: fset, Pkg: pkg, All: pkgs, analyzer: a, diags: &diags}
-			a.Run(pass)
+			if skipPkgs[pkg.Path] {
+				continue
+			}
+			units = append(units, unit{a: a, pkg: pkg})
 		}
 	}
+	results := make([][]Diagnostic, len(units))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				u := units[i]
+				pass := &Pass{Fset: fset, Pkg: u.pkg, All: pkgs, analyzer: u.a, diags: &results[i]}
+				u.a.Run(pass)
+			}
+		}()
+	}
+	for i := range units {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	perPkg = map[string][]Diagnostic{}
+	for i, u := range units {
+		if u.pkg == nil {
+			whole = append(whole, results[i]...)
+		} else {
+			perPkg[u.pkg.Path] = append(perPkg[u.pkg.Path], results[i]...)
+		}
+	}
+	return perPkg, whole
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order every lbvet output format uses.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -219,7 +407,30 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+}
+
+// Relativize rewrites diagnostic file names under root to module-relative,
+// slash-separated paths, so goldens, CI logs and SARIF locations are stable
+// across machines. Paths outside root are left untouched. Byte offsets are
+// dropped: they are meaningless once the position is detached from a
+// FileSet, and zeroing them keeps fresh and cache-served diagnostics
+// structurally identical.
+func Relativize(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	copy(out, diags)
+	for i := range out {
+		out[i].Pos.Offset = 0
+		name := out[i].Pos.Filename
+		if !filepath.IsAbs(name) {
+			continue
+		}
+		rel, err := filepath.Rel(root, name)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		out[i].Pos.Filename = filepath.ToSlash(rel)
+	}
+	return out
 }
 
 // simStatePackages are the cycle-level packages whose state feeds

@@ -125,6 +125,12 @@ func TestFingerprintGood(t *testing.T)  { runFixture(t, "fingerprintgood", Finge
 func TestNoPanicFixture(t *testing.T)   { runFixture(t, "nopanic", NoPanic) }
 func TestNextEventFixture(t *testing.T) { runFixture(t, "nextevent", NextEvent) }
 
+func TestSkipClosureFixture(t *testing.T) { runFixture(t, "skipclosure", SkipClosure) }
+
+func TestWorkerShareFixture(t *testing.T) { runFixture(t, "workershare", WorkerShare) }
+
+func TestErrFlowFixture(t *testing.T) { runFixture(t, "errflow", ErrFlow) }
+
 // TestByName covers the analyzer-subset resolver.
 func TestByName(t *testing.T) {
 	all, err := ByName("")

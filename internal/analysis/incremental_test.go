@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTree materializes a file tree under a temp module root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const incGoMod = "module m\n\ngo 1.22\n"
+
+const incSimDirty = `package sim
+
+type Table struct{ M map[int]int }
+
+func (t *Table) Keys() []int {
+	var out []int
+	for k := range t.M {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+const incSimClean = `package sim
+
+type Table struct{ M map[int]int }
+
+func (t *Table) Keys() []int {
+	out := make([]int, 0, len(t.M))
+	for i := 0; i < len(t.M); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+`
+
+const incSchemes = `package schemes
+
+import "m/sim"
+
+func Count(t *sim.Table) int { return len(t.Keys()) }
+`
+
+const incStats = `package stats
+
+func Mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+`
+
+// TestIncrementalCache covers the cache lifecycle: a cold run analyzes
+// everything, a warm run loads nothing and returns identical diagnostics,
+// and an edit re-analyzes exactly the changed package and its dependents.
+func TestIncrementalCache(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":             incGoMod,
+		"sim/sim.go":         incSimDirty,
+		"schemes/schemes.go": incSchemes,
+		"stats/stats.go":     incStats,
+	})
+	cache := filepath.Join(root, ".lbvet-cache")
+	az := []*Analyzer{MapRange}
+
+	cold, coldStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if coldStats.Packages != 3 || coldStats.AnalyzedPackages != 3 || coldStats.CachedPackages != 0 {
+		t.Fatalf("cold stats: %+v", coldStats)
+	}
+	if len(cold) != 1 || cold[0].Pos.Filename != "sim/sim.go" || cold[0].Analyzer != "maprange" {
+		t.Fatalf("cold diagnostics: %v", cold)
+	}
+
+	warm, warmStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warmStats.CachedPackages != 3 || warmStats.AnalyzedPackages != 0 || warmStats.LoadedPackages != 0 {
+		t.Fatalf("warm run should be a full hit: %+v", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm diagnostics differ:\ncold: %v\nwarm: %v", cold, warm)
+	}
+
+	// Fixing sim invalidates sim and its importer schemes, but stats —
+	// untouched and independent — stays cached.
+	writeTree(t, root, map[string]string{"sim/sim.go": incSimClean})
+	third, thirdStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if len(third) != 0 {
+		t.Fatalf("fixed module still dirty: %v", third)
+	}
+	if thirdStats.AnalyzedPackages != 2 || thirdStats.CachedPackages != 1 {
+		t.Fatalf("edit should re-analyze sim+schemes only: %+v", thirdStats)
+	}
+}
+
+// TestIncrementalWholeProgram covers caching of whole-program analyzers:
+// the fingerprint pass serves from cache on a warm run and invalidates on
+// any package edit.
+func TestIncrementalWholeProgram(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":         incGoMod,
+		"stats/stats.go": incStats,
+	})
+	cache := filepath.Join(root, ".lbvet-cache")
+	az := []*Analyzer{MapRange, Fingerprint}
+
+	_, coldStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if coldStats.WholeFromCache {
+		t.Fatalf("cold run claims whole-program cache hit: %+v", coldStats)
+	}
+	_, warmStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !warmStats.WholeFromCache || warmStats.LoadedPackages != 0 {
+		t.Fatalf("warm run should serve whole-program pass from cache: %+v", warmStats)
+	}
+
+	writeTree(t, root, map[string]string{"stats/stats.go": incStats + "\n// touched\n"})
+	_, editStats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if editStats.WholeFromCache {
+		t.Fatalf("edit should invalidate the whole-program entry: %+v", editStats)
+	}
+}
+
+// TestCacheEntryCorruption: a truncated or mismatched entry re-analyzes
+// instead of being trusted.
+func TestCacheEntryCorruption(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":         incGoMod,
+		"stats/stats.go": incStats,
+	})
+	cache := filepath.Join(root, ".lbvet-cache")
+	az := []*Analyzer{MapRange}
+	if _, _, err := RunIncremental(root, []string{"./..."}, az, cache); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written: %v", err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(cache, e.Name()), []byte("{truncated"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stats, err := RunIncremental(root, []string{"./..."}, az, cache)
+	if err != nil {
+		t.Fatalf("run over corrupt cache: %v", err)
+	}
+	if stats.CachedPackages != 0 || stats.AnalyzedPackages != 1 {
+		t.Fatalf("corrupt entries should miss: %+v", stats)
+	}
+}

@@ -90,6 +90,29 @@ func parseModulePath(gomod string) string {
 // Directories without non-test Go files are skipped silently for `...`
 // patterns and reported as errors for explicit ones.
 func (l *Loader) LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	dirs, err := resolvePatternDirs(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// resolvePatternDirs expands Go-style package patterns relative to dir into
+// absolute package directories: "./..." (everything under dir), "x/..." or
+// plain directory paths. Shared by LoadPatterns and the incremental driver,
+// so a cached run resolves exactly the package set a cold run loads.
+func resolvePatternDirs(dir string, patterns []string) ([]string, error) {
 	var dirs []string
 	seen := map[string]bool{}
 	add := func(d string) {
@@ -133,18 +156,7 @@ func (l *Loader) LoadPatterns(dir string, patterns []string) ([]*Package, error)
 			add(d)
 		}
 	}
-	var out []*Package
-	for _, d := range dirs {
-		pkg, err := l.LoadDir(d)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil {
-			out = append(out, pkg)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	return dirs, nil
 }
 
 // expandDirs returns every directory under root that contains non-test Go
@@ -255,6 +267,9 @@ func (l *Loader) load(path string) (*Package, error) {
 		ordered:    map[string]map[int]bool{},
 		panicOK:    map[string]map[int]bool{},
 		executorOK: map[string]map[int]bool{},
+		eventBound: map[string]map[int]bool{},
+		smShared:   map[string]map[int]bool{},
+		errOK:      map[string]map[int]bool{},
 	}
 	for _, src := range srcs {
 		f, err := parser.ParseFile(l.Fset, src, nil, parser.ParseComments)
@@ -265,6 +280,9 @@ func (l *Loader) load(path string) (*Package, error) {
 		pkg.ordered[src] = directiveLines(l.Fset, f, OrderedDirective)
 		pkg.panicOK[src] = directiveLines(l.Fset, f, PanicDirective)
 		pkg.executorOK[src] = directiveLines(l.Fset, f, ExecutorDirective)
+		pkg.eventBound[src] = directiveLines(l.Fset, f, EventBoundDirective)
+		pkg.smShared[src] = directiveLines(l.Fset, f, SMSharedDirective)
+		pkg.errOK[src] = directiveLines(l.Fset, f, ErrOKDirective)
 	}
 
 	pkg.Info = &types.Info{

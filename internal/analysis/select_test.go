@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelectErrors covers every rejection path of the run-set resolver.
+func TestSelectErrors(t *testing.T) {
+	cases := []struct {
+		names, skip string
+		wantErr     string
+	}{
+		{"maprange,maprange", "", "duplicate analyzer"},
+		{"maprange, maprange", "", "duplicate analyzer"},
+		{"", "errflow,errflow", "duplicate analyzer"},
+		{"bogus", "", `unknown analyzer "bogus" in -analyzers`},
+		{"", "bogus", `unknown analyzer "bogus" in -skip`},
+		{"maprange", "maprange", "both selected and skipped"},
+	}
+	for _, c := range cases {
+		if _, err := Select(c.names, c.skip); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Select(%q, %q) = %v, want error containing %q", c.names, c.skip, err, c.wantErr)
+		}
+	}
+	var everything []string
+	for _, a := range Analyzers() {
+		everything = append(everything, a.Name)
+	}
+	if _, err := Select("", strings.Join(everything, ",")); err == nil || !strings.Contains(err.Error(), "excludes every analyzer") {
+		t.Errorf("skipping the whole suite should fail, got %v", err)
+	}
+}
+
+// TestSelectSkip checks -skip subtracts from the full suite.
+func TestSelectSkip(t *testing.T) {
+	got, err := Select("", "errflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(Analyzers())-1 {
+		t.Fatalf("skip of one analyzer left %d of %d", len(got), len(Analyzers()))
+	}
+	for _, a := range got {
+		if a.Name == "errflow" {
+			t.Fatal("skipped analyzer still selected")
+		}
+	}
+}
+
+// TestSelectFromCorruptRegistry pins the duplicate-name registry guard.
+func TestSelectFromCorruptRegistry(t *testing.T) {
+	reg := []*Analyzer{{Name: "dup"}, {Name: "dup"}}
+	if _, err := selectFrom(reg, "", ""); err == nil || !strings.Contains(err.Error(), "registry is corrupt") {
+		t.Fatalf("duplicate registry names should fail, got %v", err)
+	}
+}
+
+// TestRelativize pins module-relative rewriting: inside-root paths become
+// slash-relative, outside-root and already-relative paths stay untouched,
+// and the input slice is not mutated.
+func TestRelativize(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "mod")
+	in := []Diagnostic{
+		{Pos: token.Position{Filename: filepath.Join(root, "internal", "sim", "a.go"), Line: 3}},
+		{Pos: token.Position{Filename: filepath.Join(string(filepath.Separator), "elsewhere", "b.go")}},
+		{Pos: token.Position{Filename: "already/relative.go"}},
+	}
+	out := Relativize(root, in)
+	if out[0].Pos.Filename != "internal/sim/a.go" {
+		t.Errorf("inside-root: got %q", out[0].Pos.Filename)
+	}
+	if out[1].Pos.Filename != in[1].Pos.Filename {
+		t.Errorf("outside-root path rewritten to %q", out[1].Pos.Filename)
+	}
+	if out[2].Pos.Filename != "already/relative.go" {
+		t.Errorf("relative path rewritten to %q", out[2].Pos.Filename)
+	}
+	if !filepath.IsAbs(in[0].Pos.Filename) {
+		t.Error("Relativize mutated its input")
+	}
+}

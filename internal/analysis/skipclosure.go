@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// SkipClosure is the field-level closure of the cycle-skipping contract
+// (DESIGN.md §11). The nextevent analyzer checks a per-cycle mutator
+// DECLARES SkipCycles; this analyzer checks the declaration is COMPLETE:
+// every receiver field the mutator writes — transitively through
+// same-package calls — must also be written by the skip method, or carry a
+// //lbvet:eventbound justification (on the field, or on a mutating helper
+// method that only runs at advertised event boundaries).
+//
+// This is exactly the PR 6 fused-wake bug class made un-writable: a policy
+// that flips an issue gate in OnCycle but forgets it in SkipCycles no
+// longer waits for the event-lower-bound property test to catch it at run
+// time — the build fails.
+//
+// Checked pairs, when a type declares both members itself:
+//
+//	OnCycle  / SkipCycles   (sim.SMPolicy per-cycle hook)
+//	TickEach / Skip         (ticked engine queues)
+//	Tick     / Skip
+var SkipClosure = &Analyzer{
+	Name: "skipclosure",
+	Doc:  "per-cycle writes that SkipCycles/Skip does not reproduce and no //lbvet:eventbound justifies",
+	Run:  runSkipClosure,
+}
+
+// skipPairs lists (per-cycle mutator, closed-form skip) method pairs.
+var skipPairs = [][2]string{
+	{"OnCycle", "SkipCycles"},
+	{"TickEach", "Skip"},
+	{"Tick", "Skip"},
+}
+
+func runSkipClosure(pass *Pass) {
+	if !inSimState(pass.Pkg) {
+		return
+	}
+	sums := packageSummaries(pass.Fset, pass.Pkg)
+
+	// Index declared methods by receiver type.
+	methods := map[string]map[string]*funcSummary{}
+	for _, fs := range sums {
+		if fs.recvType == "" {
+			continue
+		}
+		if methods[fs.recvType] == nil {
+			methods[fs.recvType] = map[string]*funcSummary{}
+		}
+		methods[fs.recvType][fs.obj.Name()] = fs
+	}
+
+	ebFields := eventBoundFields(pass)
+
+	var recvs []string
+	for recv := range methods {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+
+	for _, recv := range recvs {
+		ms := methods[recv]
+		// Dedupe by (skip method, field): TickEach and Tick share a Skip,
+		// and a field both forget should be reported once.
+		reported := map[[2]string]bool{}
+		for _, pair := range skipPairs {
+			mut, skip := ms[pair[0]], ms[pair[1]]
+			if mut == nil || skip == nil || mut.eventBound {
+				continue
+			}
+			if mut.boundedRecvW && !skip.closedRecvW {
+				pass.Reportf(mut.decl.Name.Pos(),
+					"%s.%s writes through the whole receiver, so its write set cannot be closed against %s; replace the opaque write or restructure it into named-field writes",
+					recv, pair[0], pair[1])
+				continue
+			}
+			var fields []string
+			for f := range mut.boundedFieldW {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				if _, ok := skip.closedFieldW[f]; ok {
+					continue
+				}
+				if skip.closedRecvW || ebFields[recv][f] {
+					continue
+				}
+				key := [2]string{pair[1], f}
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				origin := mut.boundedFieldW[f]
+				via := ""
+				if origin.via != "" {
+					via = " (via " + origin.via + ")"
+				}
+				pass.Reportf(origin.pos,
+					"%s.%s writes field %q%s but %s does not reproduce it: a skipped span silently loses the update — write it in %s or justify the field or mutating helper with //lbvet:eventbound (DESIGN.md §11)",
+					recv, pair[0], f, via, pair[1], pair[1])
+			}
+		}
+	}
+}
+
+// eventBoundFields collects, per receiver type, the struct fields carrying
+// a //lbvet:eventbound directive (the field-level escape hatch: the field
+// only changes at cycles NextEvent advertises).
+func eventBoundFields(pass *Pass) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !pass.Pkg.eventBoundAt(pass.Fset, field) {
+						continue
+					}
+					if out[ts.Name.Name] == nil {
+						out[ts.Name.Name] = map[string]bool{}
+					}
+					for _, name := range field.Names {
+						out[ts.Name.Name][name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module errflow
+
+go 1.22

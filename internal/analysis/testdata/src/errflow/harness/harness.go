@@ -1,0 +1,40 @@
+// Package harness exercises the errflow analyzer: the package name puts it
+// under the run engine's error discipline.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mightFail() error { return nil }
+
+func twoValued() (int, error) { return 0, nil }
+
+func discards() {
+	mightFail()         // want `error result of mightFail is discarded`
+	defer mightFail()   // want `error result of mightFail is discarded`
+	_ = mightFail()     // want `error value discarded through the blank identifier`
+	v, _ := twoValued() // want `error value discarded through the blank identifier`
+	_ = v               // not error-typed: clean
+}
+
+func wrapped() error {
+	if err := mightFail(); err != nil {
+		return fmt.Errorf("run step: %w", err) // %w keeps the chain: clean
+	}
+	v, err := twoValued()
+	if err != nil {
+		return fmt.Errorf("value %d failed: %v", v, err) // want `error wrapped with %v breaks the chain`
+	}
+	return nil
+}
+
+func sanctioned() {
+	mightFail()                                              //lbvet:errok fixture: deliberately dropped on a path already returning a better error
+	fmt.Fprintf(os.Stderr, "best-effort: %v\n", mightFail()) // fmt print family: exempt
+	var b strings.Builder
+	b.WriteString("never fails") // strings.Builder: exempt
+	_ = b.String()               // not error-typed: clean
+}

@@ -1,0 +1,3 @@
+module skipclosure
+
+go 1.22

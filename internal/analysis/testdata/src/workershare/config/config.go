@@ -1,0 +1,5 @@
+// Package config mimics the engine's shared run configuration.
+package config
+
+// Config is read-mostly shared state: workers may read it, never write it.
+type Config struct{ Workers int }

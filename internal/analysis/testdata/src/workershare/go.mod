@@ -1,0 +1,3 @@
+module workershare
+
+go 1.22

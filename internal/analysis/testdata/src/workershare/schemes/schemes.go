@@ -1,0 +1,66 @@
+// Package schemes exercises the workershare analyzer from the policy side:
+// every type here implements sim.SMPolicy, so its worker-phase hooks are
+// closure roots.
+package schemes
+
+import (
+	"workershare/config"
+	"workershare/sim"
+)
+
+// racer writes shared engine state straight from a worker-phase hook.
+type racer struct {
+	gpu  *sim.GPU
+	cfg  *config.Config
+	mine int64
+}
+
+func (r *racer) OnCycle(cycle int64) {
+	r.mine++       // own policy state: clean
+	r.gpu.Cycles++ // want `racer.OnCycle is reachable from the parallel SM tick but writes r.gpu.Cycles through shared sim.GPU`
+	r.bump()
+}
+
+func (r *racer) NextEvent(now int64) (int64, bool) { return now + 1, true }
+
+// bump hides a shared write one call deep; reachability follows the call.
+func (r *racer) bump() {
+	r.cfg.Workers++ // want `racer.bump is reachable from the parallel SM tick but writes r.cfg.Workers through shared config.Config`
+}
+
+// sanctioned is part of the executor's buffered-merge protocol: the
+// directive carries the justification.
+type sanctioned struct {
+	gpu *sim.GPU
+}
+
+func (s *sanctioned) OnCycle(cycle int64) {
+	s.gpu.Cycles++ //lbvet:smshared per-worker slot, merged in SM-index order at the barrier (fixture)
+}
+
+func (s *sanctioned) NextEvent(now int64) (int64, bool) { return now, true }
+
+// serialOnly writes shared state only from a hook that runs on the
+// coordinator between barriers (OnCTALaunch is not a worker-phase hook).
+type serialOnly struct {
+	gpu *sim.GPU
+}
+
+func (s *serialOnly) OnCycle(int64) {}
+
+func (s *serialOnly) NextEvent(now int64) (int64, bool) { return now, true }
+
+func (s *serialOnly) OnCTALaunch() { s.gpu.Cycles++ }
+
+// perSM keeps every write inside its own state: clean.
+type perSM struct {
+	sm   *sim.SM
+	busy int64
+}
+
+func (p *perSM) OnCycle(int64) {
+	p.busy++
+	p.sm.Stats.Ticks++
+}
+
+func (p *perSM) NextEvent(now int64) (int64, bool) { return now, true }

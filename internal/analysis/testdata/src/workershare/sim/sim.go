@@ -1,0 +1,34 @@
+// Package sim mimics the engine shapes the workershare analyzer keys on:
+// the GPU shared type, the SMPolicy interface and the stepSM worker entry.
+package sim
+
+// GPU is shared engine state: one instance, touched by every worker.
+type GPU struct {
+	Cycles int64
+}
+
+// SM is per-SM state, owned by exactly one worker during the SM phase.
+type SM struct {
+	NextWake int64
+	Stats    Stats
+}
+
+// Stats is per-SM accounting.
+type Stats struct{ Ticks int64 }
+
+// SMPolicy is the per-SM policy hook set (abridged to what the fixture
+// needs; the analyzer keys on the interface name and method names).
+type SMPolicy interface {
+	OnCycle(cycle int64)
+	NextEvent(now int64) (int64, bool)
+}
+
+var totalSteps int64
+
+// stepSM is the per-worker tick entry point the analyzer roots at.
+func (g *GPU) stepSM(sm *SM, cyc int64) {
+	sm.Stats.Ticks++      // per-SM chain: clean
+	sm.NextWake = cyc + 1 // per-SM chain: clean
+	g.Cycles++            // want `GPU.stepSM is reachable from the parallel SM tick but writes g.Cycles through shared sim.GPU`
+	totalSteps++          // want `GPU.stepSM is reachable from the parallel SM tick but writes package-level totalSteps`
+}

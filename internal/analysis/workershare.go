@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// WorkerShare is the static half of DESIGN.md §9's disjoint-partition
+// argument: during the parallel SM phase, code reachable from the SM tick
+// may write only per-SM state (the SM itself, its policy, its L1, register
+// file, outbox and request pool — all reached through the SM or the policy
+// receiver). Writing anything reached through shared engine types
+// (sim.GPU, config.Config, workload.Kernel) or a package-level variable is
+// a data race waiting for a schedule — `-race` only sees schedules that
+// execute; this rejects the write at build time.
+//
+// Roots of the worker-phase closure, per simulation-state package:
+//
+//   - methods named stepSM or tickRange (the executor's per-worker tick
+//     path in package sim);
+//   - the worker-phase hooks of every type implementing sim.SMPolicy:
+//     CTAActive, WarpActive, AllocateL1, ExtraL1Latency, ProbeVictim,
+//     OnEviction, OnLoadOutcome, OnStore, OnCTAComplete, OnCycle,
+//     NextEvent. (AllowNewCTA, OnCTALaunch, OnRegResponse, SkipCycles and
+//     Attach run on the coordinator between barriers and are exempt.)
+//
+// The closure follows same-package calls only; mutations hidden behind
+// cross-package or interface calls on shared objects are out of reach (a
+// documented limitation — the per-SM object graph makes such calls
+// per-SM-rooted in practice). The //lbvet:smshared directive sanctions a
+// write that is part of the executor's buffered-merge protocol.
+var WorkerShare = &Analyzer{
+	Name: "workershare",
+	Doc:  "writes to shared engine state reachable from the parallel SM tick",
+	Run:  runWorkerShare,
+}
+
+// workerPhaseHooks are the sim.SMPolicy methods invoked inside an SM's
+// tick, i.e. on a worker goroutine whenever Workers > 1.
+var workerPhaseHooks = map[string]bool{
+	"CTAActive":      true,
+	"WarpActive":     true,
+	"AllocateL1":     true,
+	"ExtraL1Latency": true,
+	"ProbeVictim":    true,
+	"OnEviction":     true,
+	"OnLoadOutcome":  true,
+	"OnStore":        true,
+	"OnCTAComplete":  true,
+	"OnCycle":        true,
+	"NextEvent":      true,
+}
+
+// workerEntryMethods are the executor's own per-worker entry points in
+// package sim.
+var workerEntryMethods = map[string]bool{
+	"stepSM":    true,
+	"tickRange": true,
+}
+
+func runWorkerShare(pass *Pass) {
+	if !inSimState(pass.Pkg) {
+		return
+	}
+	sums := packageSummaries(pass.Fset, pass.Pkg)
+	iface := findSMPolicy(pass)
+
+	// Collect the roots, in stable order.
+	var roots []*funcSummary
+	seen := map[*funcSummary]bool{}
+	addRoot := func(fs *funcSummary) {
+		if fs != nil && !seen[fs] {
+			seen[fs] = true
+			roots = append(roots, fs)
+		}
+	}
+	var all []*funcSummary
+	for _, fs := range sums {
+		all = append(all, fs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].decl.Pos() < all[j].decl.Pos() })
+
+	policyTypes := smPolicyTypes(pass, iface)
+	for _, fs := range all {
+		if fs.recvType == "" {
+			continue
+		}
+		if pass.Pkg.Types.Name() == "sim" && workerEntryMethods[fs.obj.Name()] {
+			addRoot(fs)
+		}
+		if policyTypes[fs.recvType] && workerPhaseHooks[fs.obj.Name()] {
+			addRoot(fs)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Close over same-package calls and report each reachable function's
+	// own shared/global writes.
+	reach := map[*funcSummary]bool{}
+	var visit func(fs *funcSummary)
+	visit = func(fs *funcSummary) {
+		if reach[fs] {
+			return
+		}
+		reach[fs] = true
+		for _, c := range fs.calls {
+			if cs := sums[c.callee]; cs != nil {
+				visit(cs)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	for _, fs := range all {
+		if !reach[fs] {
+			continue
+		}
+		for _, w := range fs.sharedW {
+			if sanctioned(pass, w) {
+				continue
+			}
+			pass.Reportf(w.pos,
+				"%s.%s is reachable from the parallel SM tick but writes %s through shared %s: only per-SM state may be written during the SM phase (DESIGN.md §9) — move it to a serial phase, buffer it per-SM, or justify with //lbvet:smshared",
+				recvLabel(fs), fs.obj.Name(), w.what, w.shared)
+		}
+		for _, w := range fs.globalW {
+			if sanctioned(pass, w) {
+				continue
+			}
+			pass.Reportf(w.pos,
+				"%s.%s is reachable from the parallel SM tick but writes package-level %s: worker goroutines share package state, so this races at Workers > 1 — make it per-SM or justify with //lbvet:smshared",
+				recvLabel(fs), fs.obj.Name(), w.what)
+		}
+	}
+}
+
+func recvLabel(fs *funcSummary) string {
+	if fs.recvType == "" {
+		return fs.obj.Pkg().Name()
+	}
+	return fs.recvType
+}
+
+func sanctioned(pass *Pass, w sharedWrite) bool {
+	pos := pass.Fset.Position(w.pos)
+	lines := pass.Pkg.smShared[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// findSMPolicy locates the sim.SMPolicy interface: in the package under
+// analysis if it IS sim, else among the loaded packages and the package's
+// imports (the loader pulls sim in for any policy package).
+func findSMPolicy(pass *Pass) *types.Interface {
+	lookup := func(tp *types.Package) *types.Interface {
+		if tp == nil || tp.Name() != "sim" {
+			return nil
+		}
+		obj := tp.Scope().Lookup("SMPolicy")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if i := lookup(pass.Pkg.Types); i != nil {
+		return i
+	}
+	for _, p := range pass.All {
+		if i := lookup(p.Types); i != nil {
+			return i
+		}
+	}
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if i := lookup(imp); i != nil {
+			return i
+		}
+	}
+	return nil
+}
+
+// smPolicyTypes names the package-local types whose pointer type satisfies
+// the SMPolicy interface.
+func smPolicyTypes(pass *Pass, iface *types.Interface) map[string]bool {
+	out := map[string]bool{}
+	if iface == nil {
+		return out
+	}
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			out[name] = true
+		}
+	}
+	return out
+}

@@ -78,7 +78,7 @@ func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			cpuFile.Close() //lbvet:errok — the StartCPUProfile error is the one the caller acts on; nothing was written yet
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 	}

@@ -379,7 +379,13 @@ func (s *SMState) SkipCycles(from, to int64) {
 	s.unusedByteCycles += float64(span * int64(s.sm.RF().StaticallyUnusedBytes()))
 }
 
-// pumpTransfer issues register transfers through the 6-entry buffer.
+// pumpTransfer issues register transfers through the 6-entry buffer. It
+// writes only in states NextEvent refuses to skip over: while unsent
+// registers and buffer headroom both remain, NextEvent pins the event to
+// now, and in every other state the loop body never runs — so SkipCycles
+// owes none of these writes.
+//
+//lbvet:eventbound
 func (s *SMState) pumpTransfer(t *transit, cycle int64) {
 	buf := s.sm.Config().LB.BackupBufEntries
 	for t.inflight < buf && t.sent < t.count {
@@ -400,6 +406,11 @@ func (s *SMState) pumpTransfer(t *transit, cycle int64) {
 
 // --- window boundary / CTL decisions ---
 
+// endWindow runs only at window boundaries, which NextEvent always
+// advertises — a skipped span never crosses one, so SkipCycles owes none
+// of these writes.
+//
+//lbvet:eventbound
 func (s *SMState) endWindow(cycle int64) {
 	cfg := s.sm.Config()
 	elapsed := cycle - s.windowStart

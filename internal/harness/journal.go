@@ -51,7 +51,7 @@ func OpenJournal(path string) (*Journal, error) {
 	}
 	j := &Journal{f: f, path: path, entries: map[string]*sim.Result{}}
 	if err := j.load(); err != nil {
-		f.Close()
+		f.Close() //lbvet:errok — the load error is the one the caller acts on; the handle is read-only at this point
 		return nil, err
 	}
 	return j, nil

@@ -81,8 +81,13 @@ type ccwsWarp struct {
 
 type ccwsState struct {
 	sim.BasePolicy
-	cfg    CCWS
-	sm     *sim.SM
+	cfg CCWS
+	sm  *sim.SM
+	// warps only changes per cycle while some score is positive, and then
+	// NextEvent pins the event to now — a skipped span never covers a decay
+	// step, so SkipCycles owes nothing here.
+	//
+	//lbvet:eventbound
 	warps  []ccwsWarp
 	active []bool
 
@@ -141,8 +146,7 @@ func (s *ccwsState) OnCycle(cycle int64) {
 		}
 		return
 	}
-	s.lastRank = cycle
-	s.rank()
+	s.rank(cycle)
 }
 
 // NextEvent implements sim.SMPolicy: while any warp carries a positive
@@ -181,8 +185,13 @@ func (s *ccwsState) SkipCycles(from, to int64) {
 }
 
 // rank descedules the lowest-scoring warps in proportion to the aggregate
-// lost-locality score.
-func (s *ccwsState) rank() {
+// lost-locality score. It runs only at ranking boundaries, which NextEvent
+// advertises — a skipped span never crosses one, so SkipCycles owes none
+// of these writes.
+//
+//lbvet:eventbound
+func (s *ccwsState) rank(cycle int64) {
+	s.lastRank = cycle
 	total := 0.0
 	for i := range s.warps {
 		total += s.warps[i].score

@@ -46,10 +46,19 @@ func (p *pcalState) AllocateL1(warpSlot int, pc uint32) bool {
 func (p *pcalState) OnCycle(cycle int64) {
 	p.cycles++
 	p.bypassWarps += int64(p.maxWarps - p.tokens)
-	cfg := p.sm.Config()
-	if cycle-p.windowStart < int64(cfg.LB.WindowCycles) {
+	if cycle-p.windowStart < int64(p.sm.Config().LB.WindowCycles) {
 		return
 	}
+	p.retune(cycle)
+}
+
+// retune moves the token count by the IPC-variation hill-climb. It runs
+// only at window boundaries, which NextEvent advertises, so a skipped span
+// never crosses one and SkipCycles owes none of these writes.
+//
+//lbvet:eventbound
+func (p *pcalState) retune(cycle int64) {
+	cfg := p.sm.Config()
 	retired := p.sm.Retired() - p.retiredStart
 	ipc := float64(retired) / float64(cycle-p.windowStart)
 	p.windowStart = cycle
