@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/serve"
+	"github.com/linebacker-sim/linebacker/internal/store"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// buildPath is the lbserve binary compiled by TestMain for the process
+// tests (skipped in -short mode, where nothing is built).
+var buildPath string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(testMain(m))
+}
+
+func testMain(m *testing.M) int {
+	if !testing.Short() {
+		dir, err := os.MkdirTemp("", "lbserve-bin-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve test:", err)
+			return 1
+		}
+		defer func() {
+			if rerr := os.RemoveAll(dir); rerr != nil {
+				fmt.Fprintln(os.Stderr, "lbserve test:", rerr)
+			}
+		}()
+		buildPath = filepath.Join(dir, "lbserve")
+		if out, err := exec.Command("go", "build", "-o", buildPath, ".").CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building lbserve: %v\n%s", err, out)
+			return 1
+		}
+	}
+	return m.Run()
+}
+
+func lbserveBinary(t *testing.T) string {
+	t.Helper()
+	if buildPath == "" {
+		t.Fatal("no binary built (short mode?)")
+	}
+	return buildPath
+}
+
+// server is one spawned lbserve process.
+type server struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	out  *bytes.Buffer
+	mu   *sync.Mutex
+}
+
+func (s *server) output() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.String()
+}
+
+// startServer spawns `lbserve serve` over dir and waits for its readiness
+// line to learn the bound port.
+func startServer(t *testing.T, bin, dir string) *server {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-store", dir, "-addr", "127.0.0.1:0",
+		"-lease-ttl", "1s", "-windows", "3")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{cmd: cmd, out: &bytes.Buffer{}, mu: &sync.Mutex{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			s.mu.Lock()
+			fmt.Fprintln(s.out, line)
+			s.mu.Unlock()
+			if _, base, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- base:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base := <-addrCh:
+		s.base = base
+	case <-time.After(30 * time.Second):
+		if kerr := cmd.Process.Kill(); kerr != nil {
+			t.Log("kill:", kerr)
+		}
+		t.Fatalf("server never became ready; output:\n%s", s.output())
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			if kerr := cmd.Process.Kill(); kerr != nil {
+				t.Log("cleanup kill:", kerr)
+			}
+			if werr := cmd.Wait(); werr != nil && !strings.Contains(werr.Error(), "killed") {
+				t.Log("cleanup wait:", werr)
+			}
+		}
+	})
+	return s
+}
+
+func postSweep(t *testing.T, base string, req serve.SweepRequest) serve.JobStatus {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		data, rerr := io.ReadAll(resp.Body)
+		t.Fatalf("submit: HTTP %d %s (read err %v)", resp.StatusCode, data, rerr)
+	}
+	var js serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+func serverStats(t *testing.T, base string) serve.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestCrashKillRestartResumesExactly is the crash-safety acceptance test:
+// SIGKILL the daemon mid-sweep, restart it over the same store directory,
+// resubmit the identical request, and prove — via the executions counter —
+// that exactly the points that had not committed are re-simulated.
+func TestCrashKillRestartResumesExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	bin := lbserveBinary(t)
+	dir := t.TempDir()
+	names := workload.Names()
+	total := len(names)
+	req := serve.SweepRequest{Windows: 3} // all benches, baseline
+
+	s1 := startServer(t, bin, dir)
+	js := postSweep(t, s1.base, req)
+
+	// Wait until the sweep is genuinely mid-flight: some points durably
+	// committed, ideally not all.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if n := serverStats(t, s1.base).StoreEntries; n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no points committed in time; output:\n%s", s1.output())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no fsync help
+		t.Fatal(err)
+	}
+	if err := s1.cmd.Wait(); err == nil {
+		t.Fatal("killed server exited without error")
+	}
+
+	// Count what survived the crash straight from the store files.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store did not recover from the crash: %v", err)
+	}
+	before := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 {
+		t.Fatal("kill landed before any commit; nothing to prove")
+	}
+	if before == total {
+		t.Logf("note: sweep completed before the kill landed (%d/%d points)", before, total)
+	}
+	t.Logf("killed mid-sweep with %d/%d points durable", before, total)
+
+	// Restart over the same directory and resubmit the identical request.
+	s2 := startServer(t, bin, dir)
+	js2 := postSweep(t, s2.base, req)
+	if js2.ID != js.ID {
+		t.Fatalf("resubmitted request got a different ticket: %s vs %s", js2.ID, js.ID)
+	}
+	deadline = time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.Get(s2.base + "/v1/sweeps/" + js2.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var final serve.JobStatus
+		derr := json.NewDecoder(resp.Body).Decode(&final)
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if final.Counts[serve.PointOK] != total {
+				t.Fatalf("restarted sweep finished with %+v, want %d ok", final.Counts, total)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted sweep never finished: %+v\noutput:\n%s", final, s2.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The heart of the test: the restarted server re-simulated exactly the
+	// points the crash lost — no more (no re-runs of durable points), no
+	// fewer (no phantom completions).
+	stats := serverStats(t, s2.base)
+	if want := int64(total - before); stats.Executions != want {
+		t.Fatalf("restart re-simulated %d points, want exactly %d (= %d total - %d durable)",
+			stats.Executions, want, total, before)
+	}
+	if stats.StoreEntries != total {
+		t.Fatalf("store holds %d entries after resume, want %d", stats.StoreEntries, total)
+	}
+	// The load report is cumulative (recovered at open + committed since):
+	// every point must be accounted, and a torn tail from the SIGKILL is
+	// reported, never fatal.
+	if stats.StoreLoad.Loaded != total {
+		t.Fatalf("load report accounts %d entries, want %d", stats.StoreLoad.Loaded, total)
+	}
+	if stats.StoreLoad.Skipped > 0 || stats.StoreLoad.TruncatedBytes > 0 {
+		t.Logf("crash left recoverable damage: %+v", stats.StoreLoad)
+	}
+}
+
+// TestServeSIGTERMDrains proves the graceful path: SIGTERM mid-sweep lets
+// in-flight work finish and commit, reports the drain, and exits 0.
+func TestServeSIGTERMDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	bin := lbserveBinary(t)
+	dir := t.TempDir()
+	s := startServer(t, bin, dir)
+
+	js := postSweep(t, s.base, serve.SweepRequest{Benches: []string{"S2", "BI"}, Windows: 3})
+	if js.ID == "" {
+		t.Fatal("no ticket")
+	}
+	// Only an in-flight job is guaranteed to finish through a drain; a
+	// still-queued one is (correctly) rejected. Wait for pickup.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(s.base + "/v1/sweeps/" + js.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur serve.JobStatus
+		derr := json.NewDecoder(resp.Body).Decode(&cur)
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if cur.State == serve.StateRunning || cur.State == serve.StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM drain exited non-zero: %v\noutput:\n%s", err, s.output())
+	}
+	out := s.output()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "drained") {
+		t.Fatalf("drain left no trace in the log:\n%s", out)
+	}
+
+	// The in-flight job finished and committed before exit.
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 2 {
+		t.Fatalf("drained server committed %d points, want 2", st.Len())
+	}
+}

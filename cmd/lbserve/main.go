@@ -1,0 +1,357 @@
+// Command lbserve runs (and talks to) the crash-safe sweep service: an
+// HTTP daemon that executes benchmark sweeps through the fault-tolerant
+// harness over a persistent, content-addressed result store.
+//
+// Subcommands:
+//
+//	lbserve serve  -store DIR [-addr :8080]     run the daemon
+//	lbserve submit [-addr URL] [-bench a,b,..]  submit a sweep and wait
+//	lbserve stats  [-addr URL]                  print server counters
+//
+// The daemon commits every completed point to the store (CRC-framed,
+// fsynced) before a client can observe it, so a kill -9 loses at most
+// in-flight simulations; restarting over the same -store directory and
+// resubmitting the same request re-simulates only what never finished.
+// SIGINT/SIGTERM drain gracefully: queued jobs are rejected with resumable
+// tickets, in-flight jobs finish and commit.
+//
+// Usage:
+//
+//	lbserve serve -store /var/lib/lbserve -addr :8080
+//	lbserve submit -bench S2,BI -scheme baseline,linebacker -windows 4
+//	lbserve submit -bench all -chaos panic:sm:1000,bench:S2
+//
+// Exit status: 0 ok, 1 run/point failure, 2 usage error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
+	"github.com/linebacker-sim/linebacker/internal/serve"
+	"github.com/linebacker-sim/linebacker/internal/store"
+)
+
+func main() {
+	os.Exit(cliutil.Exit(os.Stderr, "lbserve", run(os.Args[1:], os.Stdout, os.Stderr)))
+}
+
+// run is the testable entry point: flag parsing and output against
+// injectable streams, errors returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return cliutil.Usagef("missing subcommand: serve | submit | stats")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:], stdout, stderr)
+	case "submit":
+		return runSubmit(args[1:], stdout, stderr)
+	case "stats":
+		return runStats(args[1:], stdout)
+	case "-h", "-help", "--help":
+		fmt.Fprintln(stdout, "usage: lbserve <serve|submit|stats> [flags]   (-h after a subcommand for its flags)")
+		return nil
+	default:
+		return cliutil.Usagef("unknown subcommand %q (want serve, submit or stats)", args[0])
+	}
+}
+
+// runServe starts the daemon and blocks until a signal drains it.
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbserve serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		storeDir     = fs.String("store", "", "result store directory (required; created if missing)")
+		windows      = fs.Int("windows", 3, "default run length in monitoring windows")
+		queueDepth   = fs.Int("queue", 4, "admission queue depth; overflow answers 429")
+		jobWorkers   = fs.Int("job-workers", 2, "concurrently executing jobs")
+		retries      = fs.Int("retries", 3, "max executions per point for transient failures")
+		runTimeout   = fs.Duration("run-timeout", 0, "wall-clock limit per simulation (0 = none)")
+		watchdog     = fs.Duration("watchdog", 10*time.Second, "no-forward-progress watchdog tick (0 = off)")
+		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a signal waits for in-flight jobs")
+		leaseTTL     = fs.Duration("lease-ttl", time.Minute, "cross-process single-flight lease TTL; a crashed replica's leases are stolen this long after its last renewal")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapParse(err)
+	}
+	if *storeDir == "" {
+		return cliutil.Usagef("-store is required")
+	}
+
+	st, err := store.Open(*storeDir, store.Options{LeaseTTL: *leaseTTL})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := st.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "lbserve: store:", cerr)
+		}
+	}()
+	rep := st.Report()
+	fmt.Fprintf(stdout, "lbserve: store %s: %d result(s) loaded from %d segment(s)",
+		*storeDir, rep.Loaded, rep.Segments)
+	if rep.Skipped > 0 || rep.TruncatedBytes > 0 {
+		fmt.Fprintf(stdout, " (recovered past %d corrupt record(s), %d truncated tail byte(s))",
+			rep.Skipped, rep.TruncatedBytes)
+	}
+	fmt.Fprintln(stdout)
+
+	s := serve.New(st, serve.Options{
+		Windows:      *windows,
+		QueueDepth:   *queueDepth,
+		JobWorkers:   *jobWorkers,
+		Retry:        serve.RetryPolicy{Attempts: *retries},
+		RunTimeout:   *runTimeout,
+		WatchdogTick: *watchdog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	// The "listening" line is the readiness signal smoke tests and
+	// process managers wait for; it carries the resolved port for -addr :0.
+	fmt.Fprintf(stdout, "lbserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(stdout, "lbserve: signal received, draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		rep := s.Drain(dctx)
+		fmt.Fprintf(stdout, "lbserve: drained (rejected %d queued job(s), timed_out=%v)\n",
+			rep.Rejected, rep.TimedOut)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if serr := hs.Shutdown(sctx); serr != nil {
+			fmt.Fprintln(stderr, "lbserve: shutdown:", serr)
+		}
+	}()
+
+	if serr := hs.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	<-shutdownDone
+	return nil
+}
+
+// splitList parses a comma-separated flag into fields ("" -> nil).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// runSubmit posts one sweep request and (by default) waits for the result.
+func runSubmit(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbserve submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://localhost:8080", "server base URL")
+		benches  = fs.String("bench", "all", "comma-separated benchmark codes, or all")
+		schemes  = fs.String("scheme", "baseline", "comma-separated scheme specs")
+		windows  = fs.Int("windows", 0, "run length in monitoring windows (0 = server default)")
+		paper    = fs.Bool("paper", false, "full Table 1 scale")
+		chaos    = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:1000,bench:S2")
+		deadline = fs.Int64("deadline-ms", 0, "per-point wall-clock deadline in ms (0 = none)")
+		wait     = fs.Bool("wait", true, "poll until the sweep finishes and print results")
+		poll     = fs.Duration("poll", 200*time.Millisecond, "polling interval with -wait")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapParse(err)
+	}
+	req := serve.SweepRequest{
+		Benches:    splitList(*benches),
+		Schemes:    splitList(*schemes),
+		Windows:    *windows,
+		Paper:      *paper,
+		Chaos:      *chaos,
+		DeadlineMs: *deadline,
+	}
+
+	js, err := submit(*addr, req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "lbserve: sweep %s %s (%d point(s))\n", js.ID, js.State, totalPoints(js.Counts))
+	if !*wait {
+		return nil
+	}
+
+	for {
+		code, body, err := get(*addr + "/v1/sweeps/" + js.ID + "/result")
+		if err != nil {
+			return err
+		}
+		switch code {
+		case http.StatusOK:
+			var final serve.JobStatus
+			if err := json.Unmarshal(body, &final); err != nil {
+				return fmt.Errorf("decoding result: %w", err)
+			}
+			return printResult(stdout, final)
+		case http.StatusAccepted:
+			time.Sleep(*poll)
+		case http.StatusConflict:
+			return fmt.Errorf("sweep %s was rejected by a draining server; resubmit to resume (completed points are stored)", js.ID)
+		default:
+			return fmt.Errorf("result endpoint: HTTP %d: %s", code, strings.TrimSpace(string(body)))
+		}
+	}
+}
+
+// submit posts the request, retrying while the server applies backpressure
+// (429 + Retry-After).
+func submit(addr string, req serve.SweepRequest) (serve.JobStatus, error) {
+	var js serve.JobStatus
+	body, err := json.Marshal(req)
+	if err != nil {
+		return js, fmt.Errorf("encoding request: %w", err)
+	}
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(addr+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return js, err
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		cerr := resp.Body.Close()
+		if rerr != nil {
+			return js, rerr
+		}
+		if cerr != nil {
+			return js, cerr
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			if err := json.Unmarshal(data, &js); err != nil {
+				return js, fmt.Errorf("decoding submit response: %w", err)
+			}
+			return js, nil
+		case http.StatusTooManyRequests:
+			if attempt >= 10 {
+				return js, fmt.Errorf("server kept the queue full through %d submit attempts", attempt)
+			}
+			delay := 1
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = ra
+			}
+			time.Sleep(time.Duration(delay) * time.Second)
+		case http.StatusServiceUnavailable:
+			return js, fmt.Errorf("server is draining; retry after it restarts (completed points are stored): %s",
+				strings.TrimSpace(string(data)))
+		case http.StatusBadRequest:
+			return js, cliutil.Usagef("server rejected the request: %s", strings.TrimSpace(string(data)))
+		default:
+			return js, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+}
+
+// printResult renders the finished sweep; any failed point makes the whole
+// command fail (exit 1) after all points have printed.
+func printResult(stdout io.Writer, final serve.JobStatus) error {
+	failed := 0
+	for _, p := range final.Points {
+		if p.State == serve.PointOK {
+			note := ""
+			if p.Attempts > 1 {
+				note = fmt.Sprintf("  (attempt %d)", p.Attempts)
+			}
+			fmt.Fprintf(stdout, "  %-4s %-12s IPC %7.3f%s\n", p.Bench, p.Scheme, p.IPC, note)
+			continue
+		}
+		failed++
+		kind, msg := "unknown", "no error detail"
+		if p.Error != nil {
+			kind, msg = p.Error.Kind, p.Error.Message
+		}
+		fmt.Fprintf(stdout, "  %-4s %-12s FAILED [%s, %d attempt(s)]: %s\n",
+			p.Bench, p.Scheme, kind, p.Attempts, msg)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d point(s) failed", failed, len(final.Points))
+	}
+	return nil
+}
+
+func totalPoints(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// runStats prints the server counters.
+func runStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lbserve stats", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapParse(err)
+	}
+	code, body, err := get(*addr + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("stats: HTTP %d: %s", code, strings.TrimSpace(string(body)))
+	}
+	var stats serve.Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return fmt.Errorf("decoding stats: %w", err)
+	}
+	fmt.Fprintf(stdout, "executions:    %d\n", stats.Executions)
+	fmt.Fprintf(stdout, "store entries: %d\n", stats.StoreEntries)
+	fmt.Fprintf(stdout, "store load:    %d loaded, %d skipped, %d truncated byte(s)\n",
+		stats.StoreLoad.Loaded, stats.StoreLoad.Skipped, stats.StoreLoad.TruncatedBytes)
+	for state, n := range stats.Jobs {
+		fmt.Fprintf(stdout, "jobs %-9s %d\n", state+":", n)
+	}
+	fmt.Fprintf(stdout, "draining:      %v\n", stats.Draining)
+	return nil
+}
+
+// get is a small GET helper returning status and body.
+func get(url string) (int, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	cerr := resp.Body.Close()
+	if rerr != nil {
+		return resp.StatusCode, nil, rerr
+	}
+	if cerr != nil {
+		return resp.StatusCode, nil, cerr
+	}
+	return resp.StatusCode, data, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/cliutil"
+	"github.com/linebacker-sim/linebacker/internal/serve"
+	"github.com/linebacker-sim/linebacker/internal/store"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"serve"},                     // missing -store
+		{"serve", "-nonsense"},        // unknown flag
+		{"submit", "-windows", "owl"}, // bad flag value
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		err := run(args, &out, &errb)
+		if !errors.Is(err, cliutil.ErrUsage) {
+			t.Errorf("run(%q) = %v, want usage error", args, err)
+		}
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Errorf("-h returned %v", err)
+	}
+	if !strings.Contains(out.String(), "serve|submit|stats") {
+		t.Errorf("-h printed %q", out.String())
+	}
+}
+
+// inProcessServer serves a real sweep service over httptest so the client
+// subcommands can be driven without spawning a process.
+func inProcessServer(t *testing.T, opts serve.Options) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{LeasePoll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(st, opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := st.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	})
+	return ts
+}
+
+func TestSubmitAndStatsClient(t *testing.T) {
+	ts := inProcessServer(t, serve.Options{Windows: 2})
+
+	var out, errb bytes.Buffer
+	err := run([]string{"submit", "-addr", ts.URL, "-bench", "S2", "-windows", "2",
+		"-poll", "20ms"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("submit: %v (stderr %q)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "IPC") || !strings.Contains(out.String(), "S2") {
+		t.Fatalf("submit output missing the result line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"stats", "-addr", ts.URL}, &out, &errb); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "executions:    1") ||
+		!strings.Contains(out.String(), "store entries: 1") {
+		t.Fatalf("stats output:\n%s", out.String())
+	}
+
+	// A bad request is a usage error (exit 2), reported with the server's
+	// validation message.
+	out.Reset()
+	err = run([]string{"submit", "-addr", ts.URL, "-bench", "no-such-bench"}, &out, &errb)
+	if !errors.Is(err, cliutil.ErrUsage) || !strings.Contains(err.Error(), "no-such-bench") {
+		t.Fatalf("invalid bench: %v", err)
+	}
+}
+
+func TestSubmitReportsFailedPoints(t *testing.T) {
+	ts := inProcessServer(t, serve.Options{
+		Windows: 2,
+		Retry:   serve.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	var out, errb bytes.Buffer
+	err := run([]string{"submit", "-addr", ts.URL, "-bench", "S2", "-windows", "2",
+		"-chaos", "panic:sm:1000,bench:S2", "-poll", "20ms"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 point(s) failed") {
+		t.Fatalf("faulted sweep: err=%v", err)
+	}
+	if !strings.Contains(out.String(), "FAILED [panic, 2 attempt(s)]") {
+		t.Fatalf("failure line missing the structured error:\n%s", out.String())
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"strings"
 )
 
-// ErrFlow enforces the error discipline of the run engine (harness) and
-// the CLI convention layer (cliutil) — the packages a long-lived sweep
-// service will be built on, where a silently dropped error is a result
-// that quietly never happened:
+// ErrFlow enforces the error discipline of the run engine (harness), the
+// CLI convention layer (cliutil), and the sweep-service stack built on
+// them — the persistent result store (store), the HTTP daemon (serve) and
+// the lbserve command — where a silently dropped error is a result that
+// quietly never happened, or worse, one that was acknowledged to a client
+// without being durable:
 //
 //   - no error value may be discarded: neither a bare call statement whose
 //     callee returns an error, nor a blank-identifier assignment of an
@@ -23,18 +25,41 @@ import (
 //     context (bench, policy, phase, cycle, snapshot) on the way up.
 var ErrFlow = &Analyzer{
 	Name: "errflow",
-	Doc:  "discarded error values and chain-breaking error wrapping in harness/cliutil",
+	Doc:  "discarded error values and chain-breaking error wrapping in harness/cliutil/store/serve/lbserve",
 	Run:  runErrFlow,
 }
 
-// errFlowPackages are the packages under the error discipline.
+// errFlowPackages are the packages under the error discipline, keyed by
+// package name.
 var errFlowPackages = map[string]bool{
 	"harness": true,
 	"cliutil": true,
+	"store":   true,
+	"serve":   true,
+}
+
+// errFlowPathSuffixes scope `package main` commands — whose package name is
+// uselessly "main" — by import-path suffix.
+var errFlowPathSuffixes = []string{
+	"cmd/lbserve",
+}
+
+// errFlowScoped reports whether the package is under the error discipline.
+func errFlowScoped(pkg *Package) bool {
+	if errFlowPackages[pkg.Types.Name()] {
+		return true
+	}
+	path := pkg.Types.Path()
+	for _, suffix := range errFlowPathSuffixes {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 func runErrFlow(pass *Pass) {
-	if !errFlowPackages[pass.Pkg.Types.Name()] {
+	if !errFlowScoped(pass.Pkg) {
 		return
 	}
 	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -1,0 +1,16 @@
+// Command lbserve (fixture) proves the path-suffix scoping: package main
+// is in scope because its import path ends in cmd/lbserve.
+package main
+
+import "errors"
+
+func shutdown() error { return errors.New("shutdown") }
+
+func main() {
+	shutdown()     // want `error result of shutdown is discarded`
+	_ = shutdown() // want `error value discarded through the blank identifier`
+	shutdown()     //lbvet:errok fixture: exercised the directive on a command
+	if err := shutdown(); err != nil {
+		return
+	}
+}

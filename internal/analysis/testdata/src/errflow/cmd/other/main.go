@@ -1,0 +1,12 @@
+// Command other (fixture) is the negative control: a package main whose
+// import path is NOT cmd/lbserve stays outside the errflow scope, so its
+// dropped error produces no diagnostic.
+package main
+
+import "errors"
+
+func cleanup() error { return errors.New("cleanup") }
+
+func main() {
+	cleanup() // out of scope: no diagnostic expected
+}

@@ -1,0 +1,24 @@
+// Package serve exercises the errflow analyzer's serve scope: in the HTTP
+// daemon a dropped error is a sweep point that silently never reaches the
+// client.
+package serve
+
+import "fmt"
+
+func runPoint() error { return nil }
+
+func dropsPoint() {
+	runPoint()       // want `error result of runPoint is discarded`
+	defer runPoint() // want `error result of runPoint is discarded`
+}
+
+func wrapsBadly() error {
+	if err := runPoint(); err != nil {
+		return fmt.Errorf("point failed: %v", err) // want `error wrapped with %v breaks the chain`
+	}
+	return nil
+}
+
+func sanctioned() {
+	runPoint() //lbvet:errok fixture: the response writer is gone; nothing to do
+}

@@ -1,0 +1,32 @@
+// Package store exercises the errflow analyzer's store scope: the
+// persistent result store is where a dropped error turns an acknowledged
+// commit into amnesia after a crash.
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+func commit() error { return nil }
+
+func fsyncAndRotate() (string, error) { return "", nil }
+
+func dropsCommit() {
+	commit()                   // want `error result of commit is discarded`
+	go commit()                // want `error result of commit is discarded`
+	seg, _ := fsyncAndRotate() // want `error value discarded through the blank identifier`
+	_ = seg
+}
+
+func wrapsBadly() error {
+	if err := commit(); err != nil {
+		return fmt.Errorf("segment rotation: %s", err) // want `error wrapped with %s breaks the chain`
+	}
+	return nil
+}
+
+func sanctioned() {
+	commit() //lbvet:errok fixture: double-close on an already-failed path
+	fmt.Fprintf(os.Stderr, "best-effort: %v\n", commit())
+}

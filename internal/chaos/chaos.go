@@ -48,10 +48,18 @@ func New(c config.Chaos) *Injector {
 }
 
 // Attach installs an injector on the GPU when its configuration arms any
-// chaos fault; it is a no-op (and returns nil) otherwise.
+// chaos fault; it is a no-op (and returns nil) otherwise. A Bench-scoped
+// chaos config attaches only to runs of the named kernel — the mechanism a
+// sweep service uses to fault exactly one point of a many-benchmark
+// request while every other point runs fault-free (and, because the chaos
+// fields still fingerprint into every memo key, never aliases a clean
+// cache entry).
 func Attach(g *sim.GPU) *Injector {
 	c := g.Config().Chaos
 	if !c.Active() {
+		return nil
+	}
+	if c.Bench != "" && g.Kernel().Name != c.Bench {
 		return nil
 	}
 	in := New(c)
@@ -148,9 +156,11 @@ func (in *Injector) SMTick(g *sim.GPU, smID int, cycle int64) {
 //	                          (stage "sm-worker" panics inside an SM tick)
 //	stall-dram:<cycle>        freeze the DRAM model from that cycle on
 //	corrupt-stats:<cycle>     corrupt an SM load counter at that cycle
+//	bench:<name>              scope every fault to runs of this benchmark
 //	seed:<n>                  injector PRNG seed (default 1)
 //
-// Example: "panic:sm:5000" or "stall-dram:2000,seed:7". An empty spec
+// Example: "panic:sm:5000" or "stall-dram:2000,seed:7", or — the sweep
+// service's one-victim form — "panic:sm:1000,bench:S2". An empty spec
 // returns a disabled Chaos.
 func ParseSpec(spec string) (config.Chaos, error) {
 	var c config.Chaos
@@ -192,6 +202,11 @@ func ParseSpec(spec string) (config.Chaos, error) {
 				return bad()
 			}
 			c.CorruptStatsCycle = cyc
+		case "bench":
+			if len(parts) != 2 || parts[1] == "" {
+				return bad()
+			}
+			c.Bench = parts[1]
 		case "seed":
 			if len(parts) != 2 {
 				return bad()

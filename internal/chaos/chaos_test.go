@@ -120,6 +120,30 @@ func TestChaosInactiveIsNoop(t *testing.T) {
 	}
 }
 
+func TestChaosBenchScopeAttachesOnlyToVictim(t *testing.T) {
+	// A bench-scoped fault must attach to the named kernel only: this is
+	// the single-spec, one-victim mechanism the sweep service relies on to
+	// fault 1 of N points of a request.
+	armed := config.Chaos{Enabled: true, Seed: 1, PanicStage: "sm", PanicCycle: 100,
+		Bench: "chaos-tiny"}
+	cfg := chaosConfig(armed)
+	g, err := sim.New(cfg, chaosKernel(), sim.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := chaos.Attach(g); in == nil {
+		t.Fatal("Attach skipped the kernel its Bench scope names")
+	}
+
+	// Same armed config, different kernel: no injector, and the run is
+	// fault-free end to end.
+	cfg.Chaos.Bench = "some-other-bench"
+	msg, _ := runRecovering(t, cfg, 2000)
+	if msg != "" {
+		t.Fatalf("bench-scoped fault fired on a non-victim kernel: %s", msg)
+	}
+}
+
 func TestChaosParseSpec(t *testing.T) {
 	good := map[string]config.Chaos{
 		"":                    {},
@@ -127,6 +151,8 @@ func TestChaosParseSpec(t *testing.T) {
 		"stall-dram:2000":     {Enabled: true, Seed: 1, StallDRAMCycle: 2000},
 		"corrupt-stats:900":   {Enabled: true, Seed: 1, CorruptStatsCycle: 900},
 		"stall-dram:1,seed:9": {Enabled: true, Seed: 9, StallDRAMCycle: 1},
+		"panic:sm:1000,bench:S2": {
+			Enabled: true, Seed: 1, PanicStage: "sm", PanicCycle: 1000, Bench: "S2"},
 		"panic:dram:10,corrupt-stats:20": {
 			Enabled: true, Seed: 1, PanicStage: "dram", PanicCycle: 10, CorruptStatsCycle: 20},
 	}
@@ -148,6 +174,8 @@ func TestChaosParseSpec(t *testing.T) {
 		"seed:1",            // seed alone arms nothing
 		"bogus:1",           // unknown directive
 		"panic:sm:100,,",    // empty directive
+		"bench:",            // empty bench scope
+		"bench:S2",          // scope alone arms nothing
 	}
 	for _, spec := range bad {
 		if _, err := chaos.ParseSpec(spec); err == nil {

@@ -183,6 +183,12 @@ type Chaos struct {
 	// CorruptStatsCycle bumps a load-outcome counter on one SM at that
 	// cycle, tripping the internal/check conservation rules. 0 disables.
 	CorruptStatsCycle int64
+	// Bench scopes every armed fault to runs of the named kernel (the
+	// Table 2 benchmark code); empty means every run. This is how a sweep
+	// service faults exactly one point of a 20-benchmark request with a
+	// single chaos spec: the spec rides in the request config unchanged,
+	// and the injector only attaches where the kernel name matches.
+	Bench string
 }
 
 // Active reports whether any fault is armed.
@@ -386,6 +392,9 @@ func (c *Config) Validate() error {
 // is always valid so zero-value configs stay usable.
 func (c *Chaos) validate() error {
 	if !c.Enabled {
+		if c.Bench != "" {
+			return errors.New("config: chaos bench scope set but chaos disabled")
+		}
 		return nil
 	}
 	switch {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -22,6 +23,57 @@ var (
 	// ErrTimeout marks a run that exceeded the runner's per-run deadline.
 	ErrTimeout = errors.New("harness: run deadline exceeded")
 )
+
+// Transient classifies a run failure for retry: true means the fault is
+// environmental (a watchdog kill, a per-run deadline, an isolated panic —
+// including injected chaos faults) and a retry might succeed; false means
+// the failure is deterministic (bad configuration, unknown benchmark) or
+// caller-owned (the client's context expired), where a retry would either
+// fail identically or spend the caller's budget against its will.
+//
+// The deliberate asymmetry: retrying a deterministic failure can never
+// succeed, but worse, a retry loop around one would mask the difference
+// between "the environment hiccuped" and "this configuration is wrong" —
+// the service must surface the second kind immediately and structurally
+// (DESIGN.md §12).
+func Transient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrBadConfig), errors.Is(err, ErrUnknownBench):
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller's own context ended the run; its budget, its call.
+		return false
+	case errors.Is(err, ErrWatchdog), errors.Is(err, ErrTimeout), errors.Is(err, ErrPanic):
+		return true
+	}
+	return false
+}
+
+// FailureKind names the sentinel class of a run failure for structured
+// (JSON) error reporting; "other" covers unclassified causes.
+func FailureKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadConfig):
+		return "badconfig"
+	case errors.Is(err, ErrUnknownBench):
+		return "unknownbench"
+	case errors.Is(err, ErrWatchdog):
+		return "watchdog"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "other"
+}
 
 // Run phases a RunError can fail in.
 const (

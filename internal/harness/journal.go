@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/store"
 )
 
 // journalRecord is one completed memo entry in the JSONL artifact. The key
@@ -38,7 +39,21 @@ type Journal struct {
 	path     string
 	entries  map[string]*sim.Result
 	warnings []string
+	report   JournalReport
 	writeErr error
+}
+
+// JournalReport quantifies what loading a journal found, so callers
+// (lbserve's /v1/stats, the resume tests) can assert on recovery instead
+// of grepping warnings.
+type JournalReport struct {
+	// Loaded counts usable records preloaded into the memo cache.
+	Loaded int `json:"loaded"`
+	// Skipped counts interior records dropped as unparsable or invalid.
+	Skipped int `json:"skipped"`
+	// TruncatedBytes is the size of the partial tail record dropped when
+	// the previous writer died mid-append (0 for a clean file).
+	TruncatedBytes int64 `json:"truncated_bytes"`
 }
 
 // OpenJournal opens (creating if needed) the journal at path and loads its
@@ -70,6 +85,7 @@ func (j *Journal) load() error {
 		// short. Drop the partial record and truncate so the next append
 		// cannot fuse two records into one garbage line.
 		keep = int64(n + 1)
+		j.report.TruncatedBytes = int64(len(data)) - keep
 		j.warnings = append(j.warnings,
 			fmt.Sprintf("%s: dropped truncated tail record (%d bytes)", j.path, int64(len(data))-keep))
 	}
@@ -79,16 +95,19 @@ func (j *Journal) load() error {
 		}
 		var rec journalRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			j.report.Skipped++
 			j.warnings = append(j.warnings,
 				fmt.Sprintf("%s:%d: skipping unparsable record: %v", j.path, i+1, err))
 			continue
 		}
 		if rec.V != journalVersion || rec.Key == "" || rec.Result == nil {
+			j.report.Skipped++
 			j.warnings = append(j.warnings,
 				fmt.Sprintf("%s:%d: skipping invalid record (v=%d, key=%q)", j.path, i+1, rec.V, rec.Key))
 			continue
 		}
 		j.entries[rec.Key] = rec.Result
+		j.report.Loaded++
 	}
 	if err := j.f.Truncate(keep); err != nil {
 		return fmt.Errorf("harness: truncating journal %s: %w", j.path, err)
@@ -117,9 +136,19 @@ func (j *Journal) Warnings() []string {
 	return append([]string(nil), j.warnings...)
 }
 
-// Record appends one completed result. Failures are sticky (see Err) but
-// deliberately do not fail the simulation that produced the result: a full
-// disk costs resumability, not the sweep.
+// Report returns the load report captured when the journal was opened.
+func (j *Journal) Report() JournalReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Record appends one completed result and fsyncs it before returning —
+// the same commit point as the store's segments (store.SyncCommit), so a
+// power loss can never silently drop a point the sweep already counts as
+// checkpointed. Failures are sticky (see Err) but deliberately do not fail
+// the simulation that produced the result: a full disk costs resumability,
+// not the sweep.
 func (j *Journal) Record(key string, res *sim.Result) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -139,6 +168,10 @@ func (j *Journal) Record(key string, res *sim.Result) {
 	// already tolerates.
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
 		j.writeErr = fmt.Errorf("harness: appending to journal %s: %w", j.path, err)
+		return
+	}
+	if err := store.SyncCommit(j.f); err != nil {
+		j.writeErr = fmt.Errorf("harness: fsync journal %s: %w", j.path, err)
 		return
 	}
 	j.entries[key] = res

@@ -63,7 +63,19 @@ type Runner struct {
 	flights    map[string]*flight
 	sem        chan struct{}
 	journal    *Journal
+	store      ResultStore
 	execs      atomic.Int64
+}
+
+// ResultStore is the persistent memo backend a Runner can attach
+// (internal/store implements it). Get/Put mirror the in-memory cache;
+// DoOnce adds cross-process single-flight — with a store attached, a memo
+// key is simulated at most once across every process sharing the store
+// directory, not just within this Runner.
+type ResultStore interface {
+	Get(key string) (*sim.Result, bool)
+	Put(key string, res *sim.Result) error
+	DoOnce(ctx context.Context, key string, fn func(ctx context.Context) (*sim.Result, error)) (*sim.Result, bool, error)
 }
 
 // flight is one in-progress execution of a memo key. Concurrent same-key
@@ -144,8 +156,11 @@ func (r *Runner) forEachIndex(n int, fn func(i int)) {
 // AttachJournal preloads the memo cache from the journal's records and
 // persists every subsequent successful run to it. Keys embed the full
 // config fingerprint, so entries journaled under a different configuration
-// are simply never hit.
-func (r *Runner) AttachJournal(j *Journal) {
+// are simply never hit. The returned report says what the preload found —
+// loaded, skipped-as-corrupt and truncated-tail counts — so services can
+// export it and tests can assert on recovery instead of re-parsing
+// warnings.
+func (r *Runner) AttachJournal(j *Journal) JournalReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.journal = j
@@ -154,6 +169,18 @@ func (r *Runner) AttachJournal(j *Journal) {
 			r.cache[k] = res
 		}
 	}
+	return j.Report()
+}
+
+// AttachStore routes every memo miss through the persistent store: the
+// leader of an in-process flight executes under the store's cross-process
+// single-flight (DoOnce), so concurrent clients — and concurrent server
+// replicas — pay one simulation per key, and every success is committed
+// (CRC-framed, fsynced) before the caller sees it.
+func (r *Runner) AttachStore(st ResultStore) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
 }
 
 // Executions returns how many simulations actually ran (memo misses) —
@@ -270,11 +297,32 @@ func (r *Runner) RunCfg(ctx context.Context, cfg config.Config, cfgKey, bench st
 	var err error
 	select {
 	case r.sem <- struct{}{}:
-		res, err = r.execute(ctx, cfg, cfgKey, bench, pol)
+		r.mu.Lock()
+		st := r.store
+		r.mu.Unlock()
+		if st != nil {
+			// The store may satisfy the key from another process's commit
+			// (no execution), or run us as the cross-process leader.
+			res, _, err = st.DoOnce(ctx, key, func(ctx context.Context) (*sim.Result, error) {
+				return r.execute(ctx, cfg, cfgKey, bench, pol)
+			})
+		} else {
+			res, err = r.execute(ctx, cfg, cfgKey, bench, pol)
+		}
 		<-r.sem
 	case <-ctx.Done():
 		err = &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
 			Phase: PhaseQueue, Err: context.Cause(ctx)}
+	}
+	if err != nil {
+		// Store-layer failures (lease wait cancelled, refresh I/O) arrive
+		// unstructured; keep the RunCfg contract that every error is a
+		// *RunError carrying the point's identity.
+		var re *RunError
+		if !errors.As(err, &re) {
+			err = &RunError{Bench: bench, Policy: pol.Name(), CfgKey: cfgKey,
+				Phase: PhaseQueue, Err: err}
+		}
 	}
 
 	// Publish atomically: cache insert and flight retirement happen under

@@ -1,0 +1,225 @@
+// Package serve turns the fault-tolerant sweep harness into a long-lived,
+// crash-safe, backpressured HTTP service. Clients submit sweep requests
+// (benchmarks × schemes), poll or stream progress, and fetch results; the
+// server executes every point through a store-backed harness.Runner, so
+//
+//   - overlapping requests from any number of clients cost one simulation
+//     per distinct point (in-process single-flight + the store's
+//     cross-process lease),
+//   - every completed point is committed (CRC-framed, fsynced) before a
+//     client can observe it, so a kill -9 loses at most in-flight work,
+//   - transient failures (watchdog kills, chaos faults) retry with
+//     exponential backoff + jitter, while deterministic failures
+//     (ErrBadConfig, unknown benchmarks) surface immediately and are
+//     never retried — retries must never mask nondeterminism
+//     (DESIGN.md §12).
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/linebacker-sim/linebacker/internal/chaos"
+	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/workload"
+)
+
+// SweepRequest is the submit body. The zero value of every field has a
+// server-side default, so `{}` is a valid request (all benchmarks,
+// baseline, default windows).
+type SweepRequest struct {
+	// Benches lists Table 2 benchmark codes; empty or ["all"] expands to
+	// every benchmark.
+	Benches []string `json:"benches,omitempty"`
+	// Schemes lists policy specs as linebacker.NewScheme accepts them
+	// ("baseline", "linebacker", "pcal", "swl:4", ...); default
+	// ["baseline"].
+	Schemes []string `json:"schemes,omitempty"`
+	// Windows is the run length in monitoring windows (default: the
+	// server's -windows flag).
+	Windows int `json:"windows,omitempty"`
+	// Paper selects the full Table 1 machine instead of the fast 4-SM
+	// experiment configuration.
+	Paper bool `json:"paper,omitempty"`
+	// Chaos is a fault-injection spec (internal/chaos syntax). With a
+	// bench:<name> directive the spec faults exactly that point and
+	// leaves every other point of the sweep fault-free.
+	Chaos string `json:"chaos,omitempty"`
+	// DeadlineMs bounds each point's wall-clock time; the deadline is
+	// propagated into sim.GPU.RunCtx, so an expired point aborts at the
+	// next cancellation checkpoint. Deadline expiry is a caller-owned
+	// failure and is never retried.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+}
+
+// canonicalize validates req against the registries and normalises it so
+// that every equivalent request has one byte representation — the basis of
+// the content-addressed ticket.
+func canonicalize(req SweepRequest, defaultWindows int) (SweepRequest, error) {
+	out := req
+	if len(out.Benches) == 0 || (len(out.Benches) == 1 && out.Benches[0] == "all") {
+		out.Benches = workload.Names()
+	} else {
+		seen := map[string]bool{}
+		var benches []string
+		for _, b := range out.Benches {
+			if _, ok := workload.ByName(b); !ok {
+				return SweepRequest{}, fmt.Errorf("unknown benchmark %q", b)
+			}
+			if !seen[b] {
+				seen[b] = true
+				benches = append(benches, b)
+			}
+		}
+		sort.Strings(benches)
+		out.Benches = benches
+	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = []string{"baseline"}
+	} else {
+		seen := map[string]bool{}
+		var schemes []string
+		for _, spec := range out.Schemes {
+			if _, err := newScheme(spec); err != nil {
+				return SweepRequest{}, err
+			}
+			if !seen[spec] {
+				seen[spec] = true
+				schemes = append(schemes, spec)
+			}
+		}
+		sort.Strings(schemes)
+		out.Schemes = schemes
+	}
+	if out.Windows == 0 {
+		out.Windows = defaultWindows
+	}
+	if out.Windows < 1 || out.Windows > 10000 {
+		return SweepRequest{}, fmt.Errorf("windows %d out of range [1, 10000]", out.Windows)
+	}
+	if out.DeadlineMs < 0 {
+		return SweepRequest{}, fmt.Errorf("negative deadline_ms %d", out.DeadlineMs)
+	}
+	if _, err := chaos.ParseSpec(out.Chaos); err != nil {
+		return SweepRequest{}, err
+	}
+	return out, nil
+}
+
+// ticketID derives the content-addressed job ID: identical canonical
+// requests — from any client, any time — share one ticket, one queue slot
+// and one set of simulations.
+func ticketID(req SweepRequest) string {
+	data, err := json.Marshal(req)
+	if err != nil {
+		// A SweepRequest is plain data; Marshal cannot fail. Keep a
+		// defensive distinct-id fallback rather than a panic in a daemon.
+		return "sw-unhashable"
+	}
+	sum := sha256.Sum256(data)
+	return "sw-" + hex.EncodeToString(sum[:12])
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateRejected = "rejected" // drained out of the queue; resubmit to resume
+)
+
+// Point states.
+const (
+	PointPending = "pending"
+	PointRunning = "running"
+	PointOK      = "ok"
+	PointFailed  = "failed"
+)
+
+// PointError is the structured failure of one sweep point, JSON-shaped for
+// clients. Kind mirrors the harness sentinel classes; Transient says
+// whether the server's retry policy applied (and was exhausted) or the
+// failure was surfaced immediately.
+type PointError struct {
+	Message   string `json:"message"`
+	Kind      string `json:"kind"`
+	Phase     string `json:"phase,omitempty"`
+	Cycle     int64  `json:"cycle,omitempty"`
+	Transient bool   `json:"transient"`
+}
+
+// Point is one (bench, scheme) cell of a sweep job.
+type Point struct {
+	Bench    string      `json:"bench"`
+	Scheme   string      `json:"scheme"`
+	State    string      `json:"state"`
+	Attempts int         `json:"attempts,omitempty"`
+	IPC      float64     `json:"ipc,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    *PointError `json:"error,omitempty"`
+}
+
+// Job is one admitted sweep request and its progress. All fields behind mu;
+// handlers read snapshots.
+type Job struct {
+	ID  string
+	Req SweepRequest
+
+	mu     sync.Mutex
+	state  string
+	points []Point
+	reason string        // rejection reason, when state == StateRejected
+	done   chan struct{} // closed on done or rejected
+}
+
+func newJob(id string, req SweepRequest) *Job {
+	j := &Job{ID: id, Req: req, state: StateQueued, done: make(chan struct{})}
+	for _, b := range req.Benches {
+		for _, sc := range req.Schemes {
+			j.points = append(j.points, Point{Bench: b, Scheme: sc, State: PointPending})
+		}
+	}
+	return j
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// snapshot copies the mutable state for handlers.
+func (j *Job) snapshot() (state, reason string, points []Point) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.reason, append([]Point(nil), j.points...)
+}
+
+// setState transitions the job; terminal states close done exactly once.
+func (j *Job) setState(state, reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateRejected {
+		return
+	}
+	j.state, j.reason = state, reason
+	if state == StateDone || state == StateRejected {
+		close(j.done)
+	}
+}
+
+func (j *Job) setPoint(i int, p Point) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.points[i] = p
+}
+
+// counts tallies point states for the status endpoint.
+func counts(points []Point) map[string]int {
+	out := map[string]int{}
+	for _, p := range points {
+		out[p.State]++
+	}
+	return out
+}
