@@ -61,6 +61,12 @@ func BenchmarkMacroFig12PaperStrict(b *testing.B) { benchkit.MacroFig12PaperBenc
 func BenchmarkScalingFig12Workers2(b *testing.B) { benchkit.MacroFig12BenchWorkers(2)(b) }
 func BenchmarkScalingFig12Workers4(b *testing.B) { benchkit.MacroFig12BenchWorkers(4)(b) }
 
+// Twin tier: one in-envelope analytical estimate on a pre-calibrated model
+// versus the cycle-level run that answers the same question. Their ratio is
+// the artifact's twin_speedup — the factor the interactive tier buys.
+func BenchmarkTwinQuery(b *testing.B)    { benchkit.TwinQuery(b) }
+func BenchmarkTwinPointSim(b *testing.B) { benchkit.TwinPointSim(b) }
+
 // benchMetrics is one benchmark's record in the JSON artifact.
 type benchMetrics struct {
 	NsPerOp         float64 `json:"ns_per_op"`
@@ -88,6 +94,10 @@ type benchFile struct {
 	Baseline   *benchSection      `json:"baseline,omitempty"`
 	Current    benchSection       `json:"current"`
 	SkipRatios map[string]float64 `json:"skip_ratios,omitempty"`
+	// TwinSpeedup is twin/point_sim ns_per_op over twin/estimate_query
+	// ns_per_op: how many times cheaper one in-envelope analytical estimate
+	// is than the cycle-level run answering the same question.
+	TwinSpeedup float64 `json:"twin_speedup,omitempty"`
 }
 
 // trajectoryTiers maps artifact bench names to their bodies. GPUStep's op is
@@ -109,6 +119,8 @@ var trajectoryTiers = []struct {
 	{"scaling/fig12_workers2", benchkit.MacroFig12BenchWorkers(2), false},
 	{"scaling/fig12_workers4", benchkit.MacroFig12BenchWorkers(4), false},
 	{"scaling/fig12_workers8", benchkit.MacroFig12BenchWorkers(8), false},
+	{"twin/estimate_query", benchkit.TwinQuery, false},
+	{"twin/point_sim", benchkit.TwinPointSim, false},
 }
 
 // TestBenchTrajectory emits the benchmark trajectory artifact. Skipped
@@ -148,6 +160,11 @@ func TestBenchTrajectory(t *testing.T) {
 		out.Current.Benches[tier.name] = m
 		t.Logf("%-22s %12.1f ns/op %8d allocs/op %10d B/op (n=%d)",
 			tier.name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Iterations)
+	}
+	query, sim1 := out.Current.Benches["twin/estimate_query"], out.Current.Benches["twin/point_sim"]
+	if query.NsPerOp > 0 && sim1.NsPerOp > 0 {
+		out.TwinSpeedup = sim1.NsPerOp / query.NsPerOp
+		t.Logf("twin speedup: one estimate is %.0fx cheaper than its cycle-level run", out.TwinSpeedup)
 	}
 	out.SkipRatios = map[string]float64{}
 	for _, bench := range workload.Names() {

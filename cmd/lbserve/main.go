@@ -4,9 +4,16 @@
 //
 // Subcommands:
 //
-//	lbserve serve  -store DIR [-addr :8080]     run the daemon
-//	lbserve submit [-addr URL] [-bench a,b,..]  submit a sweep and wait
-//	lbserve stats  [-addr URL]                  print server counters
+//	lbserve serve    -store DIR [-addr :8080]     run the daemon
+//	lbserve submit   [-addr URL] [-bench a,b,..]  submit a sweep and wait
+//	lbserve estimate [-addr URL] -bench B [...]   one interactive config query
+//	lbserve stats    [-addr URL]                  print server counters
+//
+// The daemon's -twin flag (default on) enables the analytical cheap-query
+// tier: estimate answers in microseconds from a model calibrated against
+// the simulator, with a confidence band, and falls back to a full
+// cycle-level run for anything outside the calibrated envelope. Sweeps
+// submitted with -mode twin answer twin-eligible points the same way.
 //
 // The daemon commits every completed point to the store (CRC-framed,
 // fsynced) before a client can observe it, so a kill -9 loses at most
@@ -54,20 +61,22 @@ func main() {
 // injectable streams, errors returned instead of os.Exit.
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return cliutil.Usagef("missing subcommand: serve | submit | stats")
+		return cliutil.Usagef("missing subcommand: serve | submit | estimate | stats")
 	}
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:], stdout, stderr)
 	case "submit":
 		return runSubmit(args[1:], stdout, stderr)
+	case "estimate":
+		return runEstimate(args[1:], stdout, stderr)
 	case "stats":
 		return runStats(args[1:], stdout)
 	case "-h", "-help", "--help":
-		fmt.Fprintln(stdout, "usage: lbserve <serve|submit|stats> [flags]   (-h after a subcommand for its flags)")
+		fmt.Fprintln(stdout, "usage: lbserve <serve|submit|estimate|stats> [flags]   (-h after a subcommand for its flags)")
 		return nil
 	default:
-		return cliutil.Usagef("unknown subcommand %q (want serve, submit or stats)", args[0])
+		return cliutil.Usagef("unknown subcommand %q (want serve, submit, estimate or stats)", args[0])
 	}
 }
 
@@ -86,6 +95,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		watchdog     = fs.Duration("watchdog", 10*time.Second, "no-forward-progress watchdog tick (0 = off)")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "how long a signal waits for in-flight jobs")
 		leaseTTL     = fs.Duration("lease-ttl", time.Minute, "cross-process single-flight lease TTL; a crashed replica's leases are stolen this long after its last renewal")
+		twinTier     = fs.Bool("twin", true, "enable the analytical cheap-query tier (/v1/estimate, -mode twin sweeps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliutil.WrapParse(err)
@@ -119,6 +129,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		Retry:        serve.RetryPolicy{Attempts: *retries},
 		RunTimeout:   *runTimeout,
 		WatchdogTick: *watchdog,
+		Twin:         *twinTier,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -182,6 +193,7 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 		paper    = fs.Bool("paper", false, "full Table 1 scale")
 		chaos    = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:1000,bench:S2")
 		deadline = fs.Int64("deadline-ms", 0, "per-point wall-clock deadline in ms (0 = none)")
+		mode     = fs.String("mode", "", "execution tier: sim (default) | twin")
 		wait     = fs.Bool("wait", true, "poll until the sweep finishes and print results")
 		poll     = fs.Duration("poll", 200*time.Millisecond, "polling interval with -wait")
 	)
@@ -195,6 +207,7 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 		Paper:      *paper,
 		Chaos:      *chaos,
 		DeadlineMs: *deadline,
+		Mode:       *mode,
 	}
 
 	js, err := submit(*addr, req)
@@ -228,6 +241,50 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
+// Submit backoff tuning: a saturated server must neither be hammered (an
+// unparsable Retry-After must not mean "retry immediately") nor be allowed
+// to park the client arbitrarily long (a huge Retry-After is capped).
+const (
+	submitMaxAttempts = 10
+	retryAfterCap     = 30 * time.Second
+	retryBackoffBase  = 500 * time.Millisecond
+)
+
+// sleepFn is swapped by tests so backoff behaviour asserts in microseconds.
+var sleepFn = time.Sleep
+
+// retryAfterDelay turns a 429's Retry-After header into a wait. Both
+// standard forms are honoured — delta-seconds and HTTP-date (RFC 9110
+// §10.2.3) — and capped. An absent or unparsable header falls back to
+// exponential backoff from the attempt number, not a fixed delay.
+func retryAfterDelay(header string, attempt int, now time.Time) time.Duration {
+	if header != "" {
+		if secs, err := strconv.Atoi(header); err == nil && secs >= 0 {
+			return capDelay(time.Duration(secs) * time.Second)
+		}
+		if when, err := http.ParseTime(header); err == nil {
+			return capDelay(when.Sub(now))
+		}
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	if attempt > 10 {
+		attempt = 10 // keep the shift well-defined for any caller
+	}
+	return capDelay(retryBackoffBase << uint(attempt-1))
+}
+
+func capDelay(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > retryAfterCap {
+		return retryAfterCap
+	}
+	return d
+}
+
 // submit posts the request, retrying while the server applies backpressure
 // (429 + Retry-After).
 func submit(addr string, req serve.SweepRequest) (serve.JobStatus, error) {
@@ -256,14 +313,10 @@ func submit(addr string, req serve.SweepRequest) (serve.JobStatus, error) {
 			}
 			return js, nil
 		case http.StatusTooManyRequests:
-			if attempt >= 10 {
+			if attempt >= submitMaxAttempts {
 				return js, fmt.Errorf("server kept the queue full through %d submit attempts", attempt)
 			}
-			delay := 1
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				delay = ra
-			}
-			time.Sleep(time.Duration(delay) * time.Second)
+			sleepFn(retryAfterDelay(resp.Header.Get("Retry-After"), attempt, time.Now()))
 		case http.StatusServiceUnavailable:
 			return js, fmt.Errorf("server is draining; retry after it restarts (completed points are stored): %s",
 				strings.TrimSpace(string(data)))
@@ -284,6 +337,9 @@ func printResult(stdout io.Writer, final serve.JobStatus) error {
 			note := ""
 			if p.Attempts > 1 {
 				note = fmt.Sprintf("  (attempt %d)", p.Attempts)
+			}
+			if p.Source == serve.SourceTwin {
+				note += fmt.Sprintf("  [twin, %.3f..%.3f]", p.Lo, p.Hi)
 			}
 			fmt.Fprintf(stdout, "  %-4s %-12s IPC %7.3f%s\n", p.Bench, p.Scheme, p.IPC, note)
 			continue
@@ -336,6 +392,86 @@ func runStats(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "jobs %-9s %d\n", state+":", n)
 	}
 	fmt.Fprintf(stdout, "draining:      %v\n", stats.Draining)
+	if stats.Twin.Enabled {
+		fmt.Fprintf(stdout, "twin:          %d hit(s), %d fallback(s), %d model(s)\n",
+			stats.Twin.Hits, stats.Twin.Fallbacks, stats.Twin.Models)
+	} else {
+		fmt.Fprintln(stdout, "twin:          disabled")
+	}
+	return nil
+}
+
+// runEstimate posts one configuration query to /v1/estimate and prints the
+// answer with its provenance — the band when the twin answered, the
+// fallback reason when the simulator did.
+func runEstimate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbserve estimate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://localhost:8080", "server base URL")
+		bench   = fs.String("bench", "", "benchmark code (required)")
+		lb      = fs.Bool("lb", false, "query the Linebacker arm instead of baseline")
+		l1kb    = fs.Int("l1kb", 0, "L1 capacity override in KB (0 = base config)")
+		swl     = fs.Int("swl", 0, "static CTA limit (baseline arm only; 0 = none)")
+		vtt     = fs.Int("vtt", 0, "VTT partition cap (Linebacker arm only; 0 = default)")
+		windows = fs.Int("windows", 0, "run length in monitoring windows (0 = server default)")
+		paper   = fs.Bool("paper", false, "full Table 1 scale")
+	)
+	if err := fs.Parse(args); err != nil {
+		return cliutil.WrapParse(err)
+	}
+	if *bench == "" {
+		return cliutil.Usagef("-bench is required")
+	}
+	body, err := json.Marshal(serve.EstimateRequest{
+		Bench: *bench, LB: *lb, L1KB: *l1kb, SWLLimit: *swl, VTTParts: *vtt,
+		Windows: *windows, Paper: *paper,
+	})
+	if err != nil {
+		return fmt.Errorf("encoding request: %w", err)
+	}
+	start := time.Now()
+	resp, err := http.Post(*addr+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	cerr := resp.Body.Close()
+	if rerr != nil {
+		return rerr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	elapsed := time.Since(start)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusBadRequest:
+		return cliutil.Usagef("server rejected the query: %s", strings.TrimSpace(string(data)))
+	default:
+		return fmt.Errorf("estimate: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var er serve.EstimateResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		return fmt.Errorf("decoding estimate: %w", err)
+	}
+	switch er.Source {
+	case serve.SourceTwin:
+		fmt.Fprintf(stdout, "%s: IPC %.3f  [%.3f, %.3f]  (twin, %v)\n",
+			er.Bench, er.IPC, er.Lo, er.Hi, elapsed.Round(time.Microsecond))
+		if er.Basis != "" {
+			fmt.Fprintf(stdout, "  basis: %s\n", er.Basis)
+		}
+	default:
+		fmt.Fprintf(stdout, "%s: IPC %.3f  (full simulation, %v)\n",
+			er.Bench, er.IPC, elapsed.Round(time.Millisecond))
+		if er.Reason != "" {
+			fmt.Fprintf(stdout, "  fallback: %s\n", er.Reason)
+		}
+	}
+	if er.MissRate > 0 {
+		fmt.Fprintf(stdout, "  L1 load miss rate: %.1f%%\n", er.MissRate*100)
+	}
 	return nil
 }
 

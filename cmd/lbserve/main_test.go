@@ -32,7 +32,7 @@ func TestUsageErrors(t *testing.T) {
 	if err := run([]string{"-h"}, &out, &errb); err != nil {
 		t.Errorf("-h returned %v", err)
 	}
-	if !strings.Contains(out.String(), "serve|submit|stats") {
+	if !strings.Contains(out.String(), "serve|submit|estimate|stats") {
 		t.Errorf("-h printed %q", out.String())
 	}
 }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/serve"
+)
+
+// submitReq is a minimal valid sweep request for the stub-server tests
+// (the stub never looks at it).
+func submitReq() serve.SweepRequest {
+	return serve.SweepRequest{Benches: []string{"S2"}, Schemes: []string{"baseline"}, Windows: 1}
+}
+
+// stub429 answers every submit with 429 and a fixed Retry-After header
+// value ("" = no header), counting the requests.
+func stub429(t *testing.T, retryAfter string) (*httptest.Server, *int) {
+	t.Helper()
+	hits := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+// captureSleeps reroutes the submit backoff into a recorder for the test's
+// lifetime, so a 9-attempt retry ladder asserts in microseconds.
+func captureSleeps(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var delays []time.Duration
+	prev := sleepFn
+	sleepFn = func(d time.Duration) { delays = append(delays, d) }
+	t.Cleanup(func() { sleepFn = prev })
+	return &delays
+}
+
+// TestSubmitBacksOffWithoutRetryAfter is the regression test for the
+// hot-loop bug: a saturated server that never sends a parsable Retry-After
+// must still be retried with real, growing, capped backoff. The pre-fix
+// client slept a fixed 1s regardless of attempt (and zero forever if the
+// constant had been lowered), so the growth assertion fails on it.
+func TestSubmitBacksOffWithoutRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		name, header string
+	}{
+		{"absent", ""},
+		{"unparsable", "soon"},
+		{"negative", "-3"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, hits := stub429(t, tc.header)
+			delays := captureSleeps(t)
+			_, err := submit(srv.URL, submitReq())
+			if err == nil {
+				t.Fatal("submit against an always-429 server must fail")
+			}
+			if *hits != submitMaxAttempts {
+				t.Errorf("made %d requests, want %d", *hits, submitMaxAttempts)
+			}
+			if len(*delays) != submitMaxAttempts-1 {
+				t.Fatalf("slept %d times, want %d", len(*delays), submitMaxAttempts-1)
+			}
+			for i, d := range *delays {
+				if d <= 0 {
+					t.Errorf("sleep %d is %v: hot loop", i, d)
+				}
+				if d > retryAfterCap {
+					t.Errorf("sleep %d is %v, above the %v cap", i, d, retryAfterCap)
+				}
+				if i > 0 && d < (*delays)[i-1] {
+					t.Errorf("sleep %d (%v) shrank from %v: backoff must not decay", i, d, (*delays)[i-1])
+				}
+			}
+			if first, last := (*delays)[0], (*delays)[len(*delays)-1]; last <= first {
+				t.Errorf("backoff never grew: first %v, last %v", first, last)
+			}
+		})
+	}
+}
+
+// TestSubmitCapsServerRetryAfter: a confused server advertising a huge
+// delta-seconds Retry-After must not park the client for it verbatim (the
+// pre-fix client slept the full advertised 3600s).
+func TestSubmitCapsServerRetryAfter(t *testing.T) {
+	srv, _ := stub429(t, "3600")
+	delays := captureSleeps(t)
+	if _, err := submit(srv.URL, submitReq()); err == nil {
+		t.Fatal("submit against an always-429 server must fail")
+	}
+	for i, d := range *delays {
+		if d != retryAfterCap {
+			t.Errorf("sleep %d is %v, want the %v cap", i, d, retryAfterCap)
+		}
+	}
+}
+
+// TestSubmitHonoursHTTPDateRetryAfter: the HTTP-date form is valid per RFC
+// 9110 §10.2.3; the pre-fix strconv.Atoi treated it as unparsable.
+func TestSubmitHonoursHTTPDateRetryAfter(t *testing.T) {
+	when := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	srv, _ := stub429(t, when)
+	delays := captureSleeps(t)
+	if _, err := submit(srv.URL, submitReq()); err == nil {
+		t.Fatal("submit against an always-429 server must fail")
+	}
+	if len(*delays) == 0 {
+		t.Fatal("no sleeps recorded")
+	}
+	// The stub's date is ~10s out; HTTP-date has 1s resolution and the
+	// test itself takes time, so accept a broad window that still rules
+	// out both the old fallback (1s) and ignoring the header (500ms..).
+	if d := (*delays)[0]; d < 5*time.Second || d > 10*time.Second {
+		t.Errorf("first sleep %v does not honour the HTTP-date header (~10s out)", d)
+	}
+}
+
+func TestRetryAfterDelayTable(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	for _, tc := range []struct {
+		name, header string
+		attempt      int
+		want         time.Duration
+	}{
+		{"delta seconds", "7", 1, 7 * time.Second},
+		{"delta zero is honoured", "0", 1, 0},
+		{"delta capped", "86400", 1, retryAfterCap},
+		{"http date", now.Add(4 * time.Second).Format(http.TimeFormat), 1, 4 * time.Second},
+		{"http date in the past", now.Add(-time.Hour).Format(http.TimeFormat), 1, 0},
+		{"absent attempt 1", "", 1, retryBackoffBase},
+		{"absent attempt 4", "", 4, retryBackoffBase * 8},
+		{"absent capped", "", 10, retryAfterCap},
+		{"garbage falls back", "tomorrow-ish", 2, retryBackoffBase * 2},
+		{"negative falls back to backoff floor", "-1", 1, retryBackoffBase},
+	} {
+		if got := retryAfterDelay(tc.header, tc.attempt, now); got != tc.want {
+			t.Errorf("%s: retryAfterDelay(%q, %d) = %v, want %v", tc.name, tc.header, tc.attempt, got, tc.want)
+		}
+	}
+}

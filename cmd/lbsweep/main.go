@@ -32,6 +32,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/harness"
 	"github.com/linebacker-sim/linebacker/internal/schemes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/twin"
 )
 
 func main() {
@@ -44,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mode       = fs.String("mode", "swl", "sweep: swl | cache | vtt")
+		mode       = fs.String("mode", "swl", "sweep: swl | cache | vtt | speedup")
 		bench      = fs.String("bench", "S2", "benchmark code")
 		scheme     = fs.String("scheme", "linebacker", "scheme for the cache sweep")
 		windows    = fs.Int("windows", 16, "run length in monitoring windows")
@@ -52,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout    = fs.Duration("timeout", 0, "wall-clock limit per point (0 = none)")
 		journal    = fs.String("journal", "", "JSONL checkpoint file; an existing one resumes the sweep")
 		chaosSpec  = fs.String("chaos", "", "fault-injection spec, e.g. panic:sm:5000 (see internal/chaos)")
+		twinMode   = fs.Bool("twin", false, "answer the cache sweep from a calibrated analytical twin where in-envelope (simulates only the calibration anchors and any out-of-envelope point)")
 		workers    = fs.Int("workers", 1, "SM-stepping threads per simulation (0 = GOMAXPROCS); results are identical at any count")
 		strict     = fs.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping; results are identical in both modes")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -135,8 +137,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return cliutil.Usagef("%v", err)
 		}
+		var model *twin.Model
+		if *twinMode {
+			if *scheme != "baseline" && *scheme != "linebacker" {
+				return cliutil.Usagef("-twin answers the calibrated arms only (baseline, linebacker), not %q", *scheme)
+			}
+			if model, err = twin.Calibrate(ctx, r, b.Name, twin.Options{}); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "lbsweep: twin calibrated for %s on %d simulation(s); queries are now analytical\n",
+				b.Name, model.CalRuns)
+		}
 		fmt.Fprintf(stdout, "L1 size sweep for %s under %s:\n", b.Name, pol.Name())
 		for _, kb := range []int{16, 48, 64, 96, 128} {
+			if model != nil {
+				arm := model.Estimate(twin.Query{L1Bytes: kb * 1024, LB: *scheme == "linebacker"})
+				base := arm
+				if *scheme != "baseline" {
+					base = model.Estimate(twin.Query{L1Bytes: kb * 1024})
+				}
+				if arm.InEnvelope && base.InEnvelope {
+					fmt.Fprintf(stdout, "  L1 %3d KB: IPC %.3f [%.3f, %.3f] (%.2fx baseline, twin)\n",
+						kb, arm.IPC, arm.Lo, arm.Hi, arm.IPC/base.IPC)
+					continue
+				}
+				reason := arm.Reason
+				if reason == "" {
+					reason = base.Reason
+				}
+				fmt.Fprintf(stderr, "lbsweep: L1 %d KB out of the twin envelope (%s); simulating\n", kb, reason)
+			}
 			c := cfg
 			c.GPU.L1Bytes = kb * 1024
 			key := fmt.Sprintf("l1=%d", kb)
@@ -150,6 +180,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stdout, "  L1 %3d KB: IPC %.3f (%.2fx baseline)\n", kb, res.IPC(), res.IPC()/base.IPC())
 		}
+	case "speedup":
+		// Cross-bench aggregate: -scheme vs baseline over all 20 benches,
+		// combined with the paired geomean so arms that fail on different
+		// benches error out instead of averaging disjoint sets.
+		if _, err := linebacker.NewScheme(*scheme); err != nil {
+			return cliutil.Usagef("%v", err)
+		}
+		fmt.Fprintf(stdout, "per-bench speedup of %s vs baseline (all benches):\n", *scheme)
+		sweepOf := func(mk func() (linebacker.Policy, error)) *harness.Sweep {
+			return r.ForEachBench(ctx, func(ctx context.Context, name string) (float64, error) {
+				pol, err := mk()
+				if err != nil {
+					return 0, err
+				}
+				res, err := r.RunCfg(ctx, cfg, "", name, pol)
+				if err != nil {
+					return 0, err
+				}
+				return res.IPC(), nil
+			})
+		}
+		base := sweepOf(func() (linebacker.Policy, error) { return sim.Baseline{}, nil })
+		arm := sweepOf(func() (linebacker.Policy, error) { return linebacker.NewScheme(*scheme) })
+		for i, name := range arm.Benches {
+			switch {
+			case arm.Errs[i] != nil:
+				fmt.Fprintf(stdout, "  %-4s FAILED (%s): %v\n", name, *scheme, arm.Errs[i])
+			case base.Errs[i] != nil:
+				fmt.Fprintf(stdout, "  %-4s FAILED (baseline): %v\n", name, base.Errs[i])
+			default:
+				fmt.Fprintf(stdout, "  %-4s %.3fx  (IPC %.3f vs %.3f)\n",
+					name, arm.Vals[i]/base.Vals[i], arm.Vals[i], base.Vals[i])
+			}
+		}
+		gm, n, err := harness.PairedSpeedupGM(arm, base)
+		if err != nil {
+			return fmt.Errorf("speedup aggregate: %w", err)
+		}
+		fmt.Fprintf(stdout, "GM speedup: %.3f over %d paired bench(es)\n", gm, n)
 	case "vtt":
 		fmt.Fprintf(stdout, "VTT partition associativity sweep for %s:\n", b.Name)
 		for _, ways := range []int{1, 2, 4, 8, 16, 32} {

@@ -30,6 +30,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/memtypes"
 	"github.com/linebacker-sim/linebacker/internal/schemes"
 	"github.com/linebacker-sim/linebacker/internal/sim"
+	"github.com/linebacker-sim/linebacker/internal/twin"
 	"github.com/linebacker-sim/linebacker/internal/workload"
 )
 
@@ -219,6 +220,60 @@ func SkipRatio(cfg config.Config, bench string, pol sim.Policy, windows int) (fl
 		return 0, nil
 	}
 	return float64(g.SleptSMCycles()) / float64(end*int64(cfg.GPU.NumSMs)), nil
+}
+
+// twinWindows is the run length of the twin tier's calibration and of the
+// cycle-level run it is compared against — the serve default, so the
+// recorded speedup is the one /v1/estimate users actually see.
+const twinWindows = 3
+
+// TwinQuery measures one in-envelope analytical estimate against a
+// pre-calibrated model — the interactive-query latency the twin tier
+// exists for. Calibration happens once, outside the timer: its cost is
+// the amortised price of every subsequent microsecond answer. Paired with
+// TwinPointSim below, the trajectory artifact records the twin-vs-sim
+// latency ratio.
+func TwinQuery(b *testing.B) {
+	r := harness.NewRunner(harness.BenchConfig(), twinWindows)
+	m, err := twin.Calibrate(context.Background(), r, macroBench, twin.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := twin.Query{L1Bytes: 64 * 1024, LB: true}
+	if est := m.Estimate(q); !est.InEnvelope {
+		b.Fatalf("benchmark query out of envelope: %s", est.Reason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est := m.Estimate(q); !est.InEnvelope {
+			b.Fatal("query left the envelope mid-benchmark")
+		}
+	}
+}
+
+// TwinPointSim measures the cycle-level answer to the same question
+// TwinQuery asks: one full Linebacker run of the macro benchmark at 64 KB
+// L1 on a fresh machine — no memo, no store, exactly what an estimate
+// fallback pays.
+func TwinPointSim(b *testing.B) {
+	bench, ok := workload.ByName(macroBench)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", macroBench)
+	}
+	cfg := harness.BenchConfig()
+	cfg.GPU.L1Bytes = 64 * 1024
+	cycles := int64(twinWindows) * int64(cfg.LB.WindowCycles)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := sim.New(cfg, bench.Kernel, core.New())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.RunCtx(context.Background(), cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func macroFig12(b *testing.B, cfg config.Config) {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/linebacker-sim/linebacker/internal/energy"
@@ -81,25 +82,48 @@ func Fig13(r *Runner) *Table {
 	return t
 }
 
-// Fig14 reproduces the L1-size sweep.
+// Fig14 reproduces the L1-size sweep. The GM row aggregates through the
+// paired helper: each scheme arm divides by the baseline of the *same*
+// benchmark, and an arm that failed on a bench its baseline completed (or
+// vice versa) renders as an error cell instead of a quietly smaller mean.
 func Fig14(r *Runner) *Table {
 	t := &Table{ID: "fig14", Title: "GM speedup vs baseline at each L1 size",
 		Header: []string{"L1(KB)", "CERF", "Linebacker"}}
+	ctx := context.Background()
 	for _, kb := range []int{16, 48, 64, 96, 128} {
 		cfg := cfgWithL1(r.Cfg, kb)
 		key := fmt.Sprintf("l1=%d", kb)
-		var cerfS, lbS []float64
-		for _, name := range workload.Names() {
-			base := r.MustRunCfg(cfg, key, name, sim.Baseline{})
-			cerf := r.MustRunCfg(cfg, key, name, schemes.CERF{})
-			lbr := r.MustRunCfg(cfg, key, name, lb())
-			cerfS = append(cerfS, Speedup(cerf, base))
-			lbS = append(lbS, Speedup(lbr, base))
+		sweepOf := func(mk func() sim.Policy) *Sweep {
+			return r.ForEachBench(ctx, func(ctx context.Context, name string) (float64, error) {
+				res, err := r.RunCfg(ctx, cfg, key, name, mk())
+				if err != nil {
+					return 0, err
+				}
+				return res.IPC(), nil
+			})
 		}
-		t.AddRow(fmt.Sprint(kb), f2(GeoMean(cerfS)), f2(GeoMean(lbS)))
+		base := sweepOf(func() sim.Policy { return sim.Baseline{} })
+		cerf := sweepOf(func() sim.Policy { return schemes.CERF{} })
+		lbs := sweepOf(func() sim.Policy { return lb() })
+		t.AddRow(fmt.Sprint(kb), pairedGMCell(t, cerf, base), pairedGMCell(t, lbs, base))
 	}
 	t.Notes = append(t.Notes, "paper: 16 KB → CERF 1.581, LB 1.780; 128 KB → CERF 1.061, LB 1.120; LB wins at every size")
 	return t
+}
+
+// pairedGMCell renders a paired speedup geomean as a table cell: the value
+// (annotated with n when pairs dropped), or an error marker plus a note
+// naming the failure instead of a misleading number.
+func pairedGMCell(t *Table, arm, base *Sweep) string {
+	gm, n, err := PairedSpeedupGM(arm, base)
+	if err != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("GM unavailable: %v", err))
+		return "ERR"
+	}
+	if n < len(arm.Benches) {
+		return fmt.Sprintf("%s (n=%d)", f2(gm), n)
+	}
+	return f2(gm)
 }
 
 // Fig15 reproduces the combination study.

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sweep3 builds a 3-bench sweep; a negative value marks the point failed.
+func sweep3(vals ...float64) *Sweep {
+	s := &Sweep{Benches: []string{"A", "B", "C"}, Vals: make([]float64, 3), Errs: make([]error, 3)}
+	for i, v := range vals {
+		if v < 0 {
+			s.Errs[i] = errors.New("point failed")
+			continue
+		}
+		s.Vals[i] = v
+	}
+	return s
+}
+
+// TestPairedSpeedupGMRejectsMismatchedArms is the regression test for the
+// quiet-wrongness bug: before the paired helper, arm aggregation divided
+// GeoMean(arm.OKVals()) by GeoMean(base.OKVals()), so arms that failed on
+// *different* benches compared disjoint bench sets and produced a
+// confident-looking number. The helper must refuse instead.
+func TestPairedSpeedupGMRejectsMismatchedArms(t *testing.T) {
+	arm := sweep3(2, -1, 8)  // failed on B
+	base := sweep3(1, 1, -1) // failed on C
+
+	// The pre-fix aggregation path: no error, and a "speedup" of 4.0 that
+	// pairs arm C's 8 against base B's 1 — two different benchmarks.
+	naive := GeoMean(arm.OKVals()) / GeoMean(base.OKVals())
+	if naive < 3.999 || naive > 4.001 {
+		t.Fatalf("naive aggregate = %v; the scenario no longer demonstrates the bug", naive)
+	}
+
+	_, _, err := PairedSpeedupGM(arm, base)
+	if err == nil {
+		t.Fatalf("mismatched arms aggregated without error (naive path gives %v)", naive)
+	}
+	if !strings.Contains(err.Error(), "B") || !strings.Contains(err.Error(), "C") {
+		t.Errorf("error %q does not name the mismatched benches", err)
+	}
+}
+
+func TestPairedSpeedupGMConsistentFailuresReportN(t *testing.T) {
+	arm := sweep3(2, -1, 8)
+	base := sweep3(1, -1, 2)
+	gm, n, err := PairedSpeedupGM(arm, base)
+	if err != nil {
+		t.Fatalf("arms failing on the same bench must still aggregate: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("n = %d, want 2", n)
+	}
+	if want := 2.8284271247461903; gm < want-1e-9 || gm > want+1e-9 { // sqrt(2*4)
+		t.Errorf("gm = %v, want sqrt(8)", gm)
+	}
+}
+
+// TestPairedSpeedupGMRejectsZeroValues: stats.GeoMean silently skips
+// non-positive values, so a zero IPC (a stalled-but-"successful" point)
+// used to shrink the mean's population without a trace. Paired
+// aggregation must error instead.
+func TestPairedSpeedupGMRejectsZeroValues(t *testing.T) {
+	if _, _, err := PairedSpeedupGM(sweep3(2, 0, 8), sweep3(1, 1, 2)); err == nil {
+		t.Error("zero arm value must be an error")
+	}
+	if _, _, err := PairedSpeedupGM(sweep3(2, 1, 8), sweep3(1, 0, 2)); err == nil {
+		t.Error("zero base value must be an error")
+	}
+}
+
+func TestPairedSpeedupGMRejectsDifferentSweeps(t *testing.T) {
+	arm := sweep3(2, 1, 8)
+	base := &Sweep{Benches: []string{"A", "B"}, Vals: []float64{1, 1}, Errs: make([]error, 2)}
+	if _, _, err := PairedSpeedupGM(arm, base); err == nil {
+		t.Error("different sweep lengths must be an error")
+	}
+	base2 := sweep3(1, 1, 1)
+	base2.Benches[2] = "Z"
+	if _, _, err := PairedSpeedupGM(arm, base2); err == nil {
+		t.Error("different bench names must be an error")
+	}
+}
+
+func TestPairedGMCellRendersErrorsAndN(t *testing.T) {
+	tbl := &Table{}
+	if cell := pairedGMCell(tbl, sweep3(2, -1, 8), sweep3(1, 1, -1)); cell != "ERR" {
+		t.Errorf("mismatched arms cell = %q, want ERR", cell)
+	}
+	if len(tbl.Notes) == 0 {
+		t.Error("ERR cell must leave a note naming the failure")
+	}
+	if cell := pairedGMCell(tbl, sweep3(2, -1, 8), sweep3(1, -1, 2)); cell != "2.83 (n=2)" {
+		t.Errorf("shrunken-pairs cell = %q, want annotated n", cell)
+	}
+	if cell := pairedGMCell(tbl, sweep3(2, 2, 2), sweep3(1, 1, 1)); cell != "2.00" {
+		t.Errorf("full cell = %q, want plain value", cell)
+	}
+}

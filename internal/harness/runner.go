@@ -608,3 +608,43 @@ func Speedup(a, b *sim.Result) float64 {
 
 // GeoMean re-exports stats.GeoMean for experiment code.
 func GeoMean(xs []float64) float64 { return stats.GeoMean(xs) }
+
+// PairedSpeedupGM aggregates two sweep arms into a per-benchmark-paired
+// speedup geometric mean: GM over arm.Vals[i]/base.Vals[i].
+//
+// Pairing is what GeoMean-over-OKVals cannot give: when the arms failed on
+// *different* benchmarks, dividing their independently shrunken geomeans
+// silently compares apples to oranges. Here a bench that failed in only
+// one arm is an error; benches that failed in both arms drop from both
+// sides consistently, and the returned n says how many pairs the mean
+// actually covers.
+func PairedSpeedupGM(arm, base *Sweep) (gm float64, n int, err error) {
+	if len(arm.Benches) != len(base.Benches) {
+		return 0, 0, fmt.Errorf("harness: paired speedup over different sweeps: %d vs %d benches",
+			len(arm.Benches), len(base.Benches))
+	}
+	var num, den []float64
+	var mismatched []string
+	for i := range arm.Benches {
+		if arm.Benches[i] != base.Benches[i] {
+			return 0, 0, fmt.Errorf("harness: paired speedup over different sweeps: bench %d is %q vs %q",
+				i, arm.Benches[i], base.Benches[i])
+		}
+		armOK, baseOK := arm.Errs[i] == nil, base.Errs[i] == nil
+		switch {
+		case armOK && baseOK:
+			num = append(num, arm.Vals[i])
+			den = append(den, base.Vals[i])
+		case armOK != baseOK:
+			mismatched = append(mismatched, arm.Benches[i])
+		}
+	}
+	if len(mismatched) > 0 {
+		return 0, 0, fmt.Errorf("harness: paired speedup arms mismatch: %v failed in only one arm", mismatched)
+	}
+	gm, err = stats.PairedGeoMean(num, den)
+	if err != nil {
+		return 0, 0, err
+	}
+	return gm, len(num), nil
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/linebacker-sim/linebacker/internal/twin"
+)
+
+// fastTwinOpts keeps estimate-tier tests quick: two cache anchors, no SWL
+// or VTT axes (empty non-nil = disabled).
+func fastTwinOpts() Options {
+	return Options{
+		Windows: 1,
+		Twin:    true,
+		TwinCal: twin.Options{Axes: twin.Axes{
+			L1KB:      []int{32, 64},
+			SWLLimits: []int{},
+			VTTParts:  []int{},
+		}},
+	}
+}
+
+func postEstimate(t *testing.T, ts *httptest.Server, body string) (int, EstimateResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil && resp.StatusCode < 400 {
+		t.Fatalf("decoding estimate (HTTP %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, er
+}
+
+func serveStats(t *testing.T, ts *httptest.Server) Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEstimateTwinAnswersInEnvelope: the base-configuration query sits
+// inside the calibrated anchor range, so after the one-time calibration
+// cost every further estimate is answered by the model — zero additional
+// simulations — with a band around the point value.
+func TestEstimateTwinAnswersInEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a twin model")
+	}
+	ts, s, _ := newServerAt(t, t.TempDir(), fastTwinOpts())
+
+	code, er := postEstimate(t, ts, `{"bench": "S2"}`)
+	if code != http.StatusOK {
+		t.Fatalf("estimate HTTP %d: %+v", code, er)
+	}
+	if er.Source != SourceTwin || !er.InEnvelope {
+		t.Fatalf("base-config query not answered by the twin: %+v", er)
+	}
+	if !(er.Lo > 0 && er.Lo <= er.IPC && er.IPC <= er.Hi) {
+		t.Fatalf("band does not bracket the estimate: lo %v ipc %v hi %v", er.Lo, er.IPC, er.Hi)
+	}
+	if er.Basis == "" {
+		t.Error("in-envelope estimate must state its basis")
+	}
+
+	// Repeat queries (other arm included) ride the cached model.
+	calibrated := s.Executions()
+	for _, body := range []string{`{"bench": "S2"}`, `{"bench": "S2", "lb": true}`} {
+		if code, er = postEstimate(t, ts, body); code != http.StatusOK || er.Source != SourceTwin {
+			t.Fatalf("%s: HTTP %d source %q", body, code, er.Source)
+		}
+	}
+	if got := s.Executions(); got != calibrated {
+		t.Errorf("in-envelope estimates simulated: executions %d -> %d", calibrated, got)
+	}
+
+	st := serveStats(t, ts)
+	if !st.Twin.Enabled || st.Twin.Hits < 3 || st.Twin.Models != 1 {
+		t.Errorf("twin stats = %+v, want enabled, >=3 hits, 1 model", st.Twin)
+	}
+}
+
+// TestEstimateFallsBackOutOfEnvelope is the acceptance demonstration: a
+// query outside the calibrated envelope must answer from a real
+// simulation, say so (source "sim", in_envelope false), and carry the
+// refusal reason alongside the ground-truth number.
+func TestEstimateFallsBackOutOfEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a twin model and runs a fallback simulation")
+	}
+	ts, s, _ := newServerAt(t, t.TempDir(), fastTwinOpts())
+
+	if code, er := postEstimate(t, ts, `{"bench": "S2"}`); code != http.StatusOK || er.Source != SourceTwin {
+		t.Fatalf("warm-up estimate: HTTP %d %+v", code, er)
+	}
+	calibrated := s.Executions()
+
+	// 1 MB L1 is far outside the [32, 64] KB anchor range.
+	code, er := postEstimate(t, ts, `{"bench": "S2", "l1_kb": 1024}`)
+	if code != http.StatusOK {
+		t.Fatalf("fallback estimate HTTP %d: %+v", code, er)
+	}
+	if er.Source != SourceSim || er.InEnvelope {
+		t.Fatalf("out-of-envelope query answered as %+v, want source sim", er)
+	}
+	if er.Reason == "" {
+		t.Error("fallback response must carry the out-of-envelope reason")
+	}
+	if er.IPC <= 0 {
+		t.Errorf("fallback IPC = %v, want a simulated value", er.IPC)
+	}
+	if er.Lo != 0 || er.Hi != 0 {
+		t.Errorf("simulated answers carry no band, got [%v, %v]", er.Lo, er.Hi)
+	}
+	if got := s.Executions(); got != calibrated+1 {
+		t.Errorf("fallback ran %d simulation(s), want exactly 1", got-calibrated)
+	}
+	if st := serveStats(t, ts); st.Twin.Fallbacks != 1 {
+		t.Errorf("fallback counter = %d, want 1", st.Twin.Fallbacks)
+	}
+}
+
+// TestEstimateTwinDisabled: with the tier off, every estimate is a full
+// simulation and the response says why.
+func TestEstimateTwinDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	ts, s, _ := newServerAt(t, t.TempDir(), Options{Windows: 1})
+
+	code, er := postEstimate(t, ts, `{"bench": "S2"}`)
+	if code != http.StatusOK || er.Source != SourceSim {
+		t.Fatalf("HTTP %d %+v, want a simulated answer", code, er)
+	}
+	if !strings.Contains(er.Reason, "disabled") {
+		t.Errorf("reason %q does not say the tier is disabled", er.Reason)
+	}
+	if s.Executions() != 1 {
+		t.Errorf("executions = %d, want 1", s.Executions())
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	ts, _, _ := newServerAt(t, t.TempDir(), fastTwinOpts())
+	for name, body := range map[string]string{
+		"unknown bench":   `{"bench": "NOPE"}`,
+		"swl on lb arm":   `{"bench": "S2", "lb": true, "swl_limit": 2}`,
+		"vtt without lb":  `{"bench": "S2", "vtt_parts": 4}`,
+		"negative axis":   `{"bench": "S2", "l1_kb": -1}`,
+		"unknown field":   `{"bench": "S2", "bogus": 1}`,
+		"windows too big": `{"bench": "S2", "windows": 20000}`,
+	} {
+		if code, _ := postEstimate(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+}
+
+// TestTwinModeSweep: a mode:"twin" sweep answers the calibrated arms from
+// the model (banded, no Result payload) and simulates everything else.
+func TestTwinModeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a twin model")
+	}
+	ts, _, _ := newServerAt(t, t.TempDir(), fastTwinOpts())
+
+	code, js := submit(t, ts, SweepRequest{
+		Benches: []string{"S2"},
+		Schemes: []string{"baseline", "linebacker", "pcal"},
+		Mode:    ModeTwin,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit HTTP %d: %+v", code, js)
+	}
+	done := waitDone(t, ts, js.ID, 2*time.Minute)
+	if len(done.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(done.Points))
+	}
+	for _, p := range done.Points {
+		if p.State != PointOK {
+			t.Fatalf("point %s/%s state %s: %+v", p.Bench, p.Scheme, p.State, p.Error)
+		}
+		switch p.Scheme {
+		case "baseline", "linebacker":
+			if p.Source != SourceTwin {
+				t.Errorf("%s source = %q, want twin", p.Scheme, p.Source)
+			}
+			if !(p.Lo > 0 && p.Lo <= p.IPC && p.IPC <= p.Hi) {
+				t.Errorf("%s band [%v, %v] does not bracket %v", p.Scheme, p.Lo, p.Hi, p.IPC)
+			}
+			if p.Result != nil {
+				t.Errorf("%s: twin points carry no cycle-level Result", p.Scheme)
+			}
+		case "pcal":
+			if p.Source != SourceSim || p.Result == nil {
+				t.Errorf("pcal source = %q result %v, want a simulated point", p.Source, p.Result != nil)
+			}
+		}
+	}
+}
+
+// TestModeTicketCompatibility: mode "sim" is the default tier spelled out,
+// so it must hash to the ticket pre-mode clients already hold; mode "twin"
+// asks for different behaviour and must not collide with it.
+func TestModeTicketCompatibility(t *testing.T) {
+	plain, err := canonicalize(SweepRequest{Benches: []string{"S2"}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simMode, err := canonicalize(SweepRequest{Benches: []string{"S2"}, Mode: ModeSim}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticketID(plain) != ticketID(simMode) {
+		t.Error(`mode "sim" changed the ticket of a default request`)
+	}
+	twinMode, err := canonicalize(SweepRequest{Benches: []string{"S2"}, Mode: ModeTwin}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticketID(plain) == ticketID(twinMode) {
+		t.Error(`mode "twin" must not share the default-mode ticket`)
+	}
+	if _, err := canonicalize(SweepRequest{Mode: "bogus"}, 3); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestEstimateRejectsWhileDraining mirrors submit's drain behaviour.
+func TestEstimateRejectsWhileDraining(t *testing.T) {
+	ts, s, _ := newServerAt(t, t.TempDir(), fastTwinOpts())
+	s.draining.Store(true)
+	code, _ := postEstimate(t, ts, `{"bench": "S2"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("estimate while draining: HTTP %d, want 503", code)
+	}
+	s.draining.Store(false)
+}

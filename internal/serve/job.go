@@ -54,7 +54,19 @@ type SweepRequest struct {
 	// next cancellation checkpoint. Deadline expiry is a caller-owned
 	// failure and is never retried.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Mode selects the execution tier: "" or "sim" runs every point on the
+	// cycle-level simulator; "twin" answers twin-eligible points (baseline
+	// and linebacker arms, chaos-free) from the calibrated analytical model
+	// and simulates the rest. "sim" canonicalises to "", so the ticket of
+	// every pre-twin request is unchanged.
+	Mode string `json:"mode,omitempty"`
 }
+
+// Sweep execution modes.
+const (
+	ModeSim  = "sim"
+	ModeTwin = "twin"
+)
 
 // canonicalize validates req against the registries and normalises it so
 // that every equivalent request has one byte representation — the basis of
@@ -107,6 +119,13 @@ func canonicalize(req SweepRequest, defaultWindows int) (SweepRequest, error) {
 	if _, err := chaos.ParseSpec(out.Chaos); err != nil {
 		return SweepRequest{}, err
 	}
+	switch out.Mode {
+	case "", ModeTwin:
+	case ModeSim:
+		out.Mode = "" // the default tier; normalised so tickets predate the field
+	default:
+		return SweepRequest{}, fmt.Errorf("unknown mode %q (want sim or twin)", out.Mode)
+	}
 	return out, nil
 }
 
@@ -152,13 +171,18 @@ type PointError struct {
 	Transient bool   `json:"transient"`
 }
 
-// Point is one (bench, scheme) cell of a sweep job.
+// Point is one (bench, scheme) cell of a sweep job. Source says which
+// tier produced it ("sim" or "twin"); twin-sourced points carry the
+// model's confidence band in [Lo, Hi] and no full Result.
 type Point struct {
 	Bench    string      `json:"bench"`
 	Scheme   string      `json:"scheme"`
 	State    string      `json:"state"`
 	Attempts int         `json:"attempts,omitempty"`
 	IPC      float64     `json:"ipc,omitempty"`
+	Source   string      `json:"source,omitempty"`
+	Lo       float64     `json:"lo,omitempty"`
+	Hi       float64     `json:"hi,omitempty"`
 	Result   *sim.Result `json:"result,omitempty"`
 	Error    *PointError `json:"error,omitempty"`
 }

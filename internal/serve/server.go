@@ -16,6 +16,7 @@ import (
 	"github.com/linebacker-sim/linebacker/internal/harness"
 	"github.com/linebacker-sim/linebacker/internal/sim"
 	"github.com/linebacker-sim/linebacker/internal/store"
+	"github.com/linebacker-sim/linebacker/internal/twin"
 )
 
 // newScheme resolves a policy spec through the public registry, so the
@@ -44,6 +45,14 @@ type Options struct {
 	RunTimeout time.Duration
 	// WatchdogTick enables the no-forward-progress watchdog (0 = off).
 	WatchdogTick time.Duration
+	// Twin enables the analytical cheap-query tier: /v1/estimate answers
+	// in-envelope from calibrated models, and mode:"twin" sweeps answer
+	// twin-eligible points without simulating. Disabled at the zero value —
+	// out-of-envelope queries and all sweeps then run the full simulator.
+	Twin bool
+	// TwinCal sets the calibration axes and band parameters (zero value:
+	// twin defaults).
+	TwinCal twin.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +84,7 @@ type Server struct {
 	mu      sync.Mutex
 	runners map[runnerKey]*harness.Runner
 	jobs    map[string]*Job
+	twins   map[runnerKey]*twin.Cache
 
 	queue    chan *Job
 	quit     chan struct{}
@@ -82,6 +92,12 @@ type Server struct {
 	workers  sync.WaitGroup
 	inflight sync.WaitGroup
 	draining atomic.Bool
+
+	// estSem bounds how many /v1/estimate requests may be touching the
+	// simulator (calibration or fallback) at once.
+	estSem        chan struct{}
+	twinHits      atomic.Int64
+	twinFallbacks atomic.Int64
 }
 
 type runnerKey struct {
@@ -99,8 +115,10 @@ func New(st *store.Store, opts Options) *Server {
 		jit:     newJitter(opts.Seed),
 		runners: map[runnerKey]*harness.Runner{},
 		jobs:    map[string]*Job{},
+		twins:   map[runnerKey]*twin.Cache{},
 		queue:   make(chan *Job, opts.QueueDepth),
 		quit:    make(chan struct{}),
+		estSem:  make(chan struct{}, opts.JobWorkers),
 	}
 	for i := 0; i < opts.JobWorkers; i++ {
 		s.workers.Add(1)
@@ -211,6 +229,11 @@ func (s *Server) runPoint(r *harness.Runner, job *Job, i int, p Point) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.Req.DeadlineMs)*time.Millisecond)
 		defer cancel()
 	}
+	// mode:"twin" jobs try the analytical tier first; anything it cannot
+	// answer in-envelope falls through to the simulator below.
+	if s.tryTwinPoint(ctx, r, job, i, p) {
+		return
+	}
 	// The run length is deliberately in the cfgKey: harness fingerprints
 	// exclude Windows, so "w=N" keeps 3-window and 8-window runs of the
 	// same machine from aliasing one store entry.
@@ -224,6 +247,7 @@ func (s *Server) runPoint(r *harness.Runner, job *Job, i int, p Point) {
 		return
 	}
 	p.State, p.Attempts, p.Result, p.IPC = PointOK, attempts, res, res.IPC()
+	p.Source = SourceSim
 	p.Error = nil
 	job.setPoint(i, p)
 }
@@ -281,7 +305,9 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 //	GET  /v1/sweeps/{id}        status summary
 //	GET  /v1/sweeps/{id}/result full results (202 until done)
 //	GET  /v1/sweeps/{id}/stream SSE progress events
-//	GET  /v1/stats              executions, store and job counters
+//	POST /v1/estimate           one configuration query: twin when
+//	                            in-envelope, simulation fallback otherwise
+//	GET  /v1/stats              executions, store, job and twin counters
 //	GET  /healthz               liveness (always 200)
 //	GET  /readyz                readiness (503 while draining or store-sick)
 func (s *Server) Handler() http.Handler {
@@ -290,6 +316,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -462,6 +489,7 @@ type Stats struct {
 	StoreLoad    store.LoadReport `json:"store_load"`
 	Jobs         map[string]int   `json:"jobs"`
 	Draining     bool             `json:"draining"`
+	Twin         TwinStats        `json:"twin"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -478,6 +506,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		StoreLoad:    s.store.Report(),
 		Jobs:         jobs,
 		Draining:     s.draining.Load(),
+		Twin: TwinStats{
+			Enabled:   s.opts.Twin,
+			Hits:      s.twinHits.Load(),
+			Fallbacks: s.twinFallbacks.Load(),
+			Models:    s.twinModels(),
+		},
 	})
 }
 

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"cmp"
+	"fmt"
 	"math"
 	"sort"
 
@@ -39,6 +40,33 @@ func GeoMean(xs []float64) float64 {
 		return 0
 	}
 	return math.Exp(sum / float64(n))
+}
+
+// PairedGeoMean returns the geometric mean of the element-wise ratios
+// num[i]/den[i]. Unlike GeoMean — which quietly skips non-positive values,
+// fine for a slice of speedups but dangerous when the two sides of a ratio
+// come from different sweeps — it refuses to aggregate anything invalid:
+// mismatched lengths, empty input, or a non-positive/non-finite value on
+// either side is an error naming the offending index, never a silently
+// smaller average.
+func PairedGeoMean(num, den []float64) (float64, error) {
+	if len(num) != len(den) {
+		return 0, fmt.Errorf("stats: paired geomean over mismatched arms: %d vs %d values", len(num), len(den))
+	}
+	if len(num) == 0 {
+		return 0, fmt.Errorf("stats: paired geomean of no pairs")
+	}
+	sum := 0.0
+	for i := range num {
+		if !(num[i] > 0) || math.IsInf(num[i], 1) {
+			return 0, fmt.Errorf("stats: paired geomean: numerator %d is %v (want finite positive)", i, num[i])
+		}
+		if !(den[i] > 0) || math.IsInf(den[i], 1) {
+			return 0, fmt.Errorf("stats: paired geomean: denominator %d is %v (want finite positive)", i, den[i])
+		}
+		sum += math.Log(num[i] / den[i])
+	}
+	return math.Exp(sum / float64(len(num))), nil
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// coarseGranularity makes Open see a simulated filesystem timestamp
+// resolution for the test's lifetime.
+func coarseGranularity(t *testing.T, gran time.Duration) {
+	t.Helper()
+	prev := mtimeGranularityFn
+	mtimeGranularityFn = func(string) (time.Duration, error) { return gran, nil }
+	t.Cleanup(func() { mtimeGranularityFn = prev })
+}
+
+// TestOpenRejectsTTLBelowGranularityMinimum is the regression test for
+// lease liveness on coarse-mtime filesystems: pre-fix, Open accepted any
+// positive TTL, so a 20ms TTL on a 1s-granularity mount meant every TTL/3
+// renewal rounded away and live leases were stolen mid-run. Now it is a
+// construction error.
+func TestOpenRejectsTTLBelowGranularityMinimum(t *testing.T) {
+	coarseGranularity(t, time.Second)
+	_, err := Open(t.TempDir(), Options{LeaseTTL: 20 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Open accepted a 20ms lease TTL on a 1s-granularity filesystem")
+	}
+	for _, want := range []string{"20ms", "granularity", "1s"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// The default TTL (1 minute) clears the minimum even on FAT-like 2s
+	// granularity — only explicit fast-test TTLs can be misconfigured.
+	coarseGranularity(t, 2*time.Second)
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("default TTL must satisfy a 2s-granularity minimum: %v", err)
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
+
+func TestMinLeaseTTLBoundary(t *testing.T) {
+	coarseGranularity(t, 250*time.Millisecond)
+	// Exactly the minimum (4x granularity) must be accepted...
+	s, err := Open(t.TempDir(), Options{LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatalf("TTL at the minimum rejected: %v", err)
+	}
+	if cerr := s.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	// ...one step below it must not.
+	if _, err := Open(t.TempDir(), Options{LeaseTTL: time.Second - time.Millisecond}); err == nil {
+		t.Fatal("TTL just below the minimum accepted")
+	}
+}
+
+// TestMtimeGranularityProbe sanity-checks the real probe on the test
+// filesystem: it must succeed, report a non-negative resolution, and not
+// leave probe files behind.
+func TestMtimeGranularityProbe(t *testing.T) {
+	dir := t.TempDir()
+	gran, err := mtimeGranularity(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gran < 0 || gran > 2*time.Second {
+		t.Errorf("granularity %v outside any plausible filesystem resolution", gran)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("probe left %d file(s) behind", len(ents))
+	}
+}
+
+// TestLeaseStealBoundary pins the staleness edge: a lease renewed within
+// the TTL must never be stolen, one a hair past it must be (via the
+// remove-then-reacquire protocol).
+func TestLeaseStealBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{LeaseTTL: 30 * time.Second, LeasePoll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	lease := s.leasePath("bench|pol")
+	if err := os.WriteFile(lease, []byte("pid 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Renewed just inside the TTL: alive, must not be stolen even after
+	// repeated attempts.
+	fresh := time.Now().Add(-s.opt.LeaseTTL + 5*time.Second)
+	if err := os.Chtimes(lease, fresh, fresh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.tryAcquire(lease); err != nil || ok {
+			t.Fatalf("attempt %d on a live lease: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, err := os.Stat(lease); err != nil {
+		t.Fatalf("live lease file was removed: %v", err)
+	}
+
+	// A full TTL past the last renewal: dead. The first attempt steals
+	// (removes) it, the retry acquires it — the same two-step every
+	// concurrent stealer races through the atomic O_EXCL create.
+	stale := time.Now().Add(-s.opt.LeaseTTL - 5*time.Second)
+	if err := os.Chtimes(lease, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.tryAcquire(lease); err != nil || ok {
+		t.Fatalf("steal attempt must remove and report contention, got ok=%v err=%v", ok, err)
+	}
+	if _, serr := os.Stat(lease); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatalf("stale lease still present after steal attempt: %v", serr)
+	}
+	release, ok, err := s.tryAcquire(lease)
+	if err != nil || !ok {
+		t.Fatalf("reacquire after steal: ok=%v err=%v", ok, err)
+	}
+	release()
+	if _, serr := os.Stat(filepath.Join(dir, lockDir)); serr != nil {
+		t.Fatal(serr)
+	}
+}

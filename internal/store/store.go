@@ -109,13 +109,29 @@ type Store struct {
 // and returns a handle ready for Get/Put/DoOnce. Corrupt records and torn
 // tails are tolerated and tallied in the load report; they cost
 // re-simulation, never a failed open.
+//
+// Open validates the lease TTL against the directory's actual timestamp
+// resolution: leaseholders renew by advancing the lease mtime at TTL/3,
+// so on a filesystem that stores coarse mtimes (FAT: 2s; some network
+// filesystems: 1s) a too-small TTL would make live holders' renewals
+// invisible and their leases steadily stolen mid-run. That is a
+// misconfiguration, not a runtime condition — so it fails construction.
 func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, lockDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
+	opt = opt.withDefaults()
+	gran, err := mtimeGranularityFn(filepath.Join(dir, lockDir))
+	if err != nil {
+		return nil, err
+	}
+	if min := minLeaseTTL(gran); opt.LeaseTTL < min {
+		return nil, fmt.Errorf("store: LeaseTTL %v is below the liveness minimum %v for %s (observed mtime granularity %v): TTL/3 renewals would round away and live leases would be stolen",
+			opt.LeaseTTL, min, dir, gran)
+	}
 	s := &Store{
 		dir:     dir,
-		opt:     opt.withDefaults(),
+		opt:     opt,
 		entries: map[string]*sim.Result{},
 		scanned: map[string]int64{},
 	}
@@ -123,6 +139,51 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// minLeaseTTL is the smallest TTL at which TTL/3 renewals stay visible on
+// a filesystem with the observed mtime granularity: each renewal must
+// advance the stored timestamp by at least one resolvable step, with one
+// extra step of slack for truncate-vs-round ambiguity.
+func minLeaseTTL(gran time.Duration) time.Duration {
+	if gran <= 0 {
+		return 0
+	}
+	return 4 * gran
+}
+
+// mtimeGranularityFn is swapped by tests to simulate coarse filesystems.
+var mtimeGranularityFn = mtimeGranularity
+
+// mtimeGranularity measures the filesystem's file-timestamp resolution
+// under dir: it stamps a probe file with a reference instant carrying full
+// nanosecond precision and reports how much of it the filesystem dropped
+// (0 on ext4/tmpfs/APFS; ~1s on many network mounts; up to 2s on FAT).
+func mtimeGranularity(dir string) (time.Duration, error) {
+	f, err := os.CreateTemp(dir, "mtime-probe-*")
+	if err != nil {
+		return 0, fmt.Errorf("store: probing mtime granularity in %s: %w", dir, err)
+	}
+	name := f.Name()
+	defer os.Remove(name) //lbvet:errok — a leaked zero-byte probe file is harmless
+	if cerr := f.Close(); cerr != nil {
+		return 0, fmt.Errorf("store: probing mtime granularity: %w", cerr)
+	}
+	// An odd second plus maximal sub-second part exposes truncation at any
+	// power-of-ten resolution and FAT's 2-second rounding alike.
+	ref := time.Unix(1_700_000_001, 999_999_999)
+	if terr := os.Chtimes(name, ref, ref); terr != nil {
+		return 0, fmt.Errorf("store: probing mtime granularity: %w", terr)
+	}
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, fmt.Errorf("store: probing mtime granularity: %w", err)
+	}
+	diff := ref.Sub(st.ModTime())
+	if diff < 0 {
+		diff = -diff // filesystems that round to nearest may land past ref
+	}
+	return diff, nil
 }
 
 // Dir returns the store directory.

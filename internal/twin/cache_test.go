@@ -1,0 +1,56 @@
+package twin
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/linebacker-sim/linebacker/internal/harness"
+)
+
+func TestCacheSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a runner; skipped in -short")
+	}
+	r := harness.NewRunner(harness.BenchConfig(), 1)
+	c := NewCache(Options{Axes: Axes{L1KB: []int{32, 64}, SWLLimits: []int{}, VTTParts: []int{}}})
+
+	const callers = 8
+	models := make([]*Model, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.Model(context.Background(), r, "S2")
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("caller %d got a different model instance", i)
+		}
+	}
+	if got, want := r.Executions(), int64(models[0].CalRuns); got != want {
+		t.Errorf("%d executions for %d anchor runs: single flight failed", got, want)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	r := harness.NewRunner(harness.BenchConfig(), 1)
+	c := NewCache(Options{})
+	if _, err := c.Model(context.Background(), r, "NO-SUCH-BENCH"); err == nil {
+		t.Fatal("expected an error for an unknown benchmark")
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed calibration stayed cached (%d entries)", c.Len())
+	}
+}

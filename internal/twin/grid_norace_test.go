@@ -1,0 +1,10 @@
+//go:build !race
+
+package twin
+
+import "github.com/linebacker-sim/linebacker/internal/workload"
+
+// diffBenches is the differential-validation grid: without the race
+// detector's ~10x slowdown the full 20-benchmark golden grid is cheap
+// enough to sweep (the anchors are memoised within the run).
+var diffBenches = workload.Names()

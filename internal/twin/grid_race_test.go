@@ -1,0 +1,9 @@
+//go:build race
+
+package twin
+
+// diffBenches under the race detector: a representative subset — two
+// cache-sensitive benches (S2, KM) and two insensitive ones (LI, HS) —
+// keeps the differential suite inside CI's race-job budget; the full
+// 20-bench grid runs in the dedicated no-race differential step.
+var diffBenches = []string{"S2", "KM", "LI", "HS"}
